@@ -1,0 +1,7 @@
+"""Pytest configuration for the benchmark harness (see bench_utils)."""
+
+import sys
+from pathlib import Path
+
+# Make bench_utils importable regardless of how pytest was invoked.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,45 @@
+"""Figure 4 — Pf stability and propagation latency vs iteration count.
+
+The rspeed benchmark is run with 2, 4 and 10 iterations under stuck-at-1
+injection at integer-unit nodes.  The paper observes that Pf stays essentially
+constant (input data of later iterations adds no new behaviour) while the
+maximum fault-propagation latency grows with the number of iterations.
+"""
+
+from bench_utils import SAMPLE_SIZE, SEED, run_once
+
+from repro.core.experiments import figure4_iterations
+from repro.core.report import format_table
+
+
+def test_fig4_iteration_count(benchmark):
+    points = run_once(
+        benchmark,
+        figure4_iterations,
+        iteration_counts=(2, 4, 10),
+        sample_size=SAMPLE_SIZE,
+        seed=SEED,
+    )
+
+    print()
+    print("Figure 4 — rspeed with 2/4/10 iterations (stuck-at-1, IU)")
+    rows = [
+        [
+            f"rspeed{point.iterations}",
+            f"{point.failure_probability * 100:5.1f}%",
+            f"{point.max_latency_us:8.1f}",
+            f"{point.golden_instructions}",
+        ]
+        for point in points
+    ]
+    print(format_table(["Run", "Pf", "Max latency (us)", "Instructions"], rows))
+
+    by_iterations = {point.iterations: point for point in points}
+
+    # (a) Pf is stable across iteration counts (paper: "remains constant").
+    probabilities = [point.failure_probability for point in points]
+    assert max(probabilities) - min(probabilities) <= 0.10
+
+    # (b) the maximum propagation latency grows with the iteration count.
+    assert by_iterations[10].max_latency_us >= by_iterations[2].max_latency_us
+    assert by_iterations[10].golden_instructions > by_iterations[4].golden_instructions > by_iterations[2].golden_instructions

@@ -1,0 +1,47 @@
+"""Figure 5 — fault injection at integer-unit (IU) nodes.
+
+For every Table 1 workload and every permanent fault model (stuck-at-1,
+stuck-at-0, open line), the benchmark runs an RTL injection campaign over the
+IU nodes and reports the percentage of faults that propagate to failures.
+The paper's headline observation: the four automotive benchmarks show an
+almost constant Pf (they have nearly the same instruction diversity), while
+the synthetic benchmarks (lower diversity) show lower and more variable Pf.
+"""
+
+from bench_utils import SAMPLE_SIZE, SEED, run_once
+
+from repro.analysis.stats import mean
+from repro.core.experiments import figure5_iu_faults
+from repro.core.report import PAPER_FIG5_RANGES, render_campaign_matrix
+from repro.rtl.faults import FaultModel
+
+AUTOMOTIVE = ("puwmod", "canrdr", "ttsprk", "rspeed")
+SYNTHETIC = ("membench", "intbench")
+
+
+def test_fig5_iu_fault_injection(benchmark):
+    results = run_once(
+        benchmark, figure5_iu_faults, sample_size=SAMPLE_SIZE, seed=SEED
+    )
+
+    print()
+    print(render_campaign_matrix(results, "Figure 5 — Pf at IU nodes (per fault model)"))
+    print(f"paper automotive range: {PAPER_FIG5_RANGES['automotive']}, "
+          f"synthetic range: {PAPER_FIG5_RANGES['synthetic']}")
+
+    stuck_at_1 = {name: results[name][FaultModel.STUCK_AT_1].failure_probability
+                  for name in results}
+
+    automotive_pf = [stuck_at_1[name] for name in AUTOMOTIVE]
+    synthetic_pf = [stuck_at_1[name] for name in SYNTHETIC]
+
+    # Automotive Pf is clustered (nearly constant across benchmarks)...
+    assert max(automotive_pf) - min(automotive_pf) <= 0.12
+    # ...and higher on average than the synthetic benchmarks (lower diversity).
+    assert mean(automotive_pf) > mean(synthetic_pf)
+
+    # Every campaign produced a sensible probability for every fault model.
+    for per_model in results.values():
+        for result in per_model.values():
+            assert 0.0 < result.failure_probability < 1.0
+            assert result.injections == SAMPLE_SIZE

@@ -1,0 +1,66 @@
+"""Figure 6 — fault injection at cache-memory (CMEM) nodes.
+
+Same campaign structure as Figure 5 but the fault sites are drawn from the
+instruction- and data-cache arrays and access paths.  The paper observes lower
+failure probabilities than at IU nodes (large parts of the cache arrays are
+never exercised by a given workload) with the same automotive-vs-synthetic
+ordering.
+"""
+
+from bench_utils import SAMPLE_SIZE, SEED, run_once
+
+from repro.analysis.stats import mean
+from repro.core.experiments import figure5_iu_faults, figure6_cmem_faults
+from repro.core.report import PAPER_FIG6_RANGES, render_campaign_matrix
+from repro.rtl.faults import ALL_FAULT_MODELS, FaultModel
+
+AUTOMOTIVE = ("puwmod", "canrdr", "ttsprk", "rspeed")
+SYNTHETIC = ("membench", "intbench")
+
+
+def test_fig6_cmem_fault_injection(benchmark):
+    results = run_once(
+        benchmark, figure6_cmem_faults, sample_size=SAMPLE_SIZE, seed=SEED
+    )
+
+    print()
+    print(render_campaign_matrix(results, "Figure 6 — Pf at CMEM nodes (per fault model)"))
+    print(f"paper automotive range: {PAPER_FIG6_RANGES['automotive']}, "
+          f"synthetic range: {PAPER_FIG6_RANGES['synthetic']}")
+
+    stuck_at_1 = {name: results[name][FaultModel.STUCK_AT_1].failure_probability
+                  for name in results}
+    automotive_pf = [stuck_at_1[name] for name in AUTOMOTIVE]
+    synthetic_pf = [stuck_at_1[name] for name in SYNTHETIC]
+
+    # Probabilities are valid and the campaigns ran the full sample.
+    for per_model in results.values():
+        for result in per_model.values():
+            assert 0.0 <= result.failure_probability <= 1.0
+            assert result.injections == SAMPLE_SIZE
+
+    # The intbench kernel barely touches the data cache: its CMEM Pf must be
+    # among the lowest, and automotive workloads dominate the synthetic mean.
+    assert stuck_at_1["intbench"] <= max(automotive_pf)
+    assert mean(automotive_pf) >= mean(synthetic_pf) - 0.02
+
+
+def test_fig6_cmem_pf_lower_than_iu(benchmark):
+    """The paper's cross-figure observation: CMEM Pf is below IU Pf."""
+
+    def both():
+        iu = figure5_iu_faults(
+            workloads=("rspeed",), fault_models=[FaultModel.STUCK_AT_1],
+            sample_size=SAMPLE_SIZE, seed=SEED,
+        )
+        cmem = figure6_cmem_faults(
+            workloads=("rspeed",), fault_models=[FaultModel.STUCK_AT_1],
+            sample_size=SAMPLE_SIZE, seed=SEED,
+        )
+        return iu, cmem
+
+    iu, cmem = run_once(benchmark, both)
+    iu_pf = iu["rspeed"][FaultModel.STUCK_AT_1].failure_probability
+    cmem_pf = cmem["rspeed"][FaultModel.STUCK_AT_1].failure_probability
+    print(f"\nrspeed stuck-at-1: IU Pf = {iu_pf * 100:.1f}%  CMEM Pf = {cmem_pf * 100:.1f}%")
+    assert cmem_pf <= iu_pf + 0.05

@@ -1,0 +1,53 @@
+"""Figure 7 — correlation of Pf with instruction diversity.
+
+Every workload (plus the two excerpt subsets) contributes one point: the
+instruction diversity measured by the ISS and the failure probability measured
+by stuck-at-1 RTL injection at IU nodes.  The paper fits
+``Pf = 0.0838 ln(D) - 0.0191`` with R² = 0.9246; the reproduction checks that
+the same logarithmic relationship emerges (positive coefficient, high R²),
+not the exact constants.
+"""
+
+from bench_utils import SAMPLE_SIZE, SEED, run_once
+
+from repro.core.experiments import figure7_correlation
+from repro.core.report import PAPER_FIG7_FIT, render_correlation
+
+
+def test_fig7_diversity_correlation(benchmark):
+    result = run_once(
+        benchmark,
+        figure7_correlation,
+        include_excerpts=True,
+        sample_size=SAMPLE_SIZE * 2,
+        seed=SEED,
+    )
+
+    print()
+    print("Figure 7 — Pf vs instruction diversity (stuck-at-1, IU nodes)")
+    print(render_correlation(result))
+
+    diversities = {point.workload: point.diversity for point in result.points}
+    probabilities = {point.workload: point.failure_probability for point in result.points}
+
+    # The excerpt subsets provide the low-diversity anchor points.
+    assert diversities["excerpt_subset_a"] == 8
+    assert diversities["excerpt_subset_b"] == 11
+
+    # The correlation has the paper's shape: Pf grows with diversity,
+    # following a logarithmic law with a strong fit.
+    assert result.coefficient > 0.0
+    assert result.r_squared >= 0.55
+
+    # Low-diversity workloads fail less often than the automotive cluster.
+    automotive_mean = sum(probabilities[name] for name in ("puwmod", "canrdr", "ttsprk", "rspeed")) / 4
+    assert probabilities["excerpt_subset_a"] < automotive_mean
+    assert probabilities["excerpt_subset_b"] < automotive_mean
+
+    # And the fitted curve stays within the probability range over the
+    # diversity span the paper plots (0 < D <= 50).
+    for diversity in (5, 10, 20, 50):
+        assert 0.0 <= result.predict(diversity) <= 1.0
+
+    paper_r2 = PAPER_FIG7_FIT["r_squared"]
+    print(f"paper R^2 = {paper_r2:.4f}, measured R^2 = {result.r_squared:.4f}")

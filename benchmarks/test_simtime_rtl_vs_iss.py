@@ -1,0 +1,51 @@
+"""Section 4.2 "Simulation time" — RTL fault injection vs ISS execution cost.
+
+The paper reports 25 478 CPU hours for the complete RTL campaigns against
+fewer than 300 hours for the same number of ISS experiments (a ~85x gap),
+which is the economic argument for qualifying ISS-based verification.  The
+benchmark times one scaled-down RTL campaign against the equivalent number of
+ISS re-executions of the same workload and reports the measured speed-up.
+"""
+
+from bench_utils import SEED, run_once
+
+from repro.core.experiments import simulation_time_comparison
+from repro.core.report import PAPER_SIMULATION_HOURS, format_table
+
+
+def test_simulation_time_rtl_vs_iss(benchmark):
+    comparison = run_once(
+        benchmark,
+        simulation_time_comparison,
+        workload="rspeed",
+        sample_size=30,
+        seed=SEED,
+    )
+
+    paper_ratio = PAPER_SIMULATION_HOURS["rtl"] / PAPER_SIMULATION_HOURS["iss"]
+    print()
+    print("Section 4.2 — simulation cost of the same experiment count")
+    print(
+        format_table(
+            ["", "RTL", "ISS", "RTL/ISS"],
+            [
+                [
+                    "paper (CPU hours)",
+                    f"{PAPER_SIMULATION_HOURS['rtl']:.0f}",
+                    f"< {PAPER_SIMULATION_HOURS['iss']:.0f}",
+                    f"> {paper_ratio:.0f}x",
+                ],
+                [
+                    f"reproduction ({comparison.experiments} experiments, seconds)",
+                    f"{comparison.rtl_seconds:.2f}",
+                    f"{comparison.iss_seconds:.2f}",
+                    f"{comparison.speedup:.1f}x",
+                ],
+            ],
+        )
+    )
+
+    # The qualitative claim: ISS-level experiments are substantially cheaper
+    # than RTL-level fault injection for the same number of experiments.
+    assert comparison.speedup > 1.5
+    assert comparison.rtl_seconds > comparison.iss_seconds

@@ -1,0 +1,39 @@
+"""Table 1 — benchmark characterisation on the ISS.
+
+Regenerates the rows of Table 1 (total / integer-unit / memory instructions
+and instruction diversity) for puwmod, canrdr, ttsprk, rspeed, membench and
+intbench, and prints them next to the paper's values.
+"""
+
+from bench_utils import run_once
+
+from repro.core.experiments import table1_characterization
+from repro.core.report import PAPER_TABLE1, render_table1
+
+
+def test_table1_characterization(benchmark):
+    rows = run_once(benchmark, table1_characterization, full_size=True)
+    print()
+    print("Table 1 — Benchmarks characterisation (paper vs reproduction)")
+    print(render_table1(rows))
+
+    # Shape checks mirroring the paper's observations.
+    automotive = ("puwmod", "canrdr", "ttsprk", "rspeed")
+    synthetic = ("membench", "intbench")
+
+    # Total instruction counts land in the same order of magnitude and keep
+    # the paper's ranking (puwmod largest ... intbench smallest).
+    assert rows["puwmod"].total_instructions > rows["rspeed"].total_instructions
+    assert rows["rspeed"].total_instructions > rows["membench"].total_instructions
+    assert rows["membench"].total_instructions > rows["intbench"].total_instructions
+
+    # Automotive diversity is clustered and clearly above the synthetic one.
+    automotive_diversity = [rows[name].diversity for name in automotive]
+    synthetic_diversity = [rows[name].diversity for name in synthetic]
+    assert max(automotive_diversity) - min(automotive_diversity) <= 5
+    assert min(automotive_diversity) > 2 * max(synthetic_diversity) / 1.5
+
+    # Synthetic diversity stays in the paper's band (18-20 reported).
+    for name in synthetic:
+        assert 12 <= rows[name].diversity <= 25
+        assert abs(rows[name].total_instructions - PAPER_TABLE1[name]["Total"]) / PAPER_TABLE1[name]["Total"] < 0.5

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Quickstart: assemble a program, run it on the ISS and on the RTL model,
+inject a fault, and observe the off-core mismatch.
+
+This walks through the complete tool flow of the framework in a couple of
+dozen lines:
+
+1. write a small SPARCv8 program and assemble it,
+2. execute it on the ISS (functional emulator) and look at its trace,
+3. execute it on the structural Leon3 model and check both agree,
+4. inject one permanent stuck-at fault into the integer unit and compare the
+   off-core activity against the golden run — the paper's failure criterion.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.faultinjection.comparison import compare_runs
+from repro.isa.assembler import assemble
+from repro.iss.emulator import run_program
+from repro.leon3.core import Leon3Core, run_program_rtl
+from repro.rtl.faults import FaultModel, PermanentFault
+
+SOURCE = """
+        .text
+start:
+        set     input, %l0
+        set     output, %l1
+        ld      [%l0], %o0             ! first operand
+        ld      [%l0 + 4], %o1         ! second operand
+        add     %o0, %o1, %o2
+        st      %o2, [%l1]             ! sum -> off-core write
+        umul    %o0, %o1, %o3
+        st      %o3, [%l1 + 4]         ! product -> off-core write
+        sll     %o0, 2, %o4
+        xor     %o4, %o1, %o4
+        st      %o4, [%l1 + 8]         ! mix -> off-core write
+        ta      0                      ! clean exit
+
+        .data
+input:
+        .word   21, 2
+output:
+        .space  16
+"""
+
+
+def main() -> None:
+    program = assemble(SOURCE, name="quickstart")
+
+    # --- 1. ISS execution --------------------------------------------------
+    iss = run_program(program)
+    print("ISS run")
+    print(f"  exited normally : {iss.normal_exit}")
+    print(f"  instructions    : {iss.instructions}")
+    print(f"  diversity       : {iss.trace.diversity} distinct opcodes")
+    print(f"  off-core writes : {[(hex(t.address), t.value) for t in iss.transactions]}")
+
+    # --- 2. Structural RTL execution ---------------------------------------
+    rtl = run_program_rtl(program)
+    matches = all(a.matches(b) for a, b in zip(iss.transactions, rtl.transactions))
+    print("\nStructural Leon3 run")
+    print(f"  instructions    : {rtl.instructions}")
+    print(f"  icache misses   : {rtl.icache_misses}, dcache misses: {rtl.dcache_misses}")
+    print(f"  matches the ISS : {matches and len(iss.transactions) == len(rtl.transactions)}")
+
+    # --- 3. Inject a permanent fault in the adder ---------------------------
+    core = Leon3Core()
+    core.load_program(program)
+    site = core.netlist.site_for("alu.adder.sum", 0)   # bit 0 of the ALU adder output
+    core.inject([PermanentFault(site, FaultModel.STUCK_AT_1)])
+    faulty = core.run(max_instructions=rtl.instructions * 2 + 100)
+
+    comparison = compare_runs(rtl, faulty)
+    print("\nFaulty run (stuck-at-1 on the adder output, bit 0)")
+    print(f"  off-core writes : {[(hex(t.address), t.value) for t in faulty.transactions]}")
+    print(f"  classification  : {comparison.failure_class.value}")
+    print(f"  is a failure    : {comparison.is_failure}")
+    print("\nA light-lockstep comparator at the off-core boundary flags any such "
+          "divergence as a failure, exactly as in the paper's RTL campaigns.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Statistical analysis utilities (regression and summary statistics)."""
+
+from repro.analysis.regression import (
+    LinearFit,
+    LogFit,
+    fit_linear,
+    fit_log,
+    r_squared,
+)
+from repro.analysis.stats import (
+    mean,
+    proportion_confidence_interval,
+    sample_standard_deviation,
+)
+
+__all__ = [
+    "LinearFit",
+    "LogFit",
+    "fit_linear",
+    "fit_log",
+    "r_squared",
+    "mean",
+    "proportion_confidence_interval",
+    "sample_standard_deviation",
+]

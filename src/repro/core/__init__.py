@@ -1,0 +1,44 @@
+"""The paper's contribution: diversity-based RTL/ISS correlation.
+
+This package glues the substrates together into the methodology of the paper:
+
+* :mod:`repro.core.diversity` — the instruction-diversity metric (overall and
+  per functional unit) computed from ISS traces, plus the Table 1 workload
+  characterisation,
+* :mod:`repro.core.failure_model` — the area-weighted failure-probability
+  model of Equation 1 and the diversity-driven predictor,
+* :mod:`repro.core.correlation` — the logarithmic correlation between
+  diversity and measured failure probability (Figure 7),
+* :mod:`repro.core.experiments` — end-to-end experiment drivers, one per table
+  or figure of the evaluation section,
+* :mod:`repro.core.report` — plain-text report rendering and the paper's
+  reference values for side-by-side comparison.
+"""
+
+from repro.core.correlation import CorrelationPoint, CorrelationResult, correlate
+from repro.core.diversity import (
+    WorkloadCharacterization,
+    characterize_program,
+    characterize_trace,
+    diversity_of,
+    unit_diversities,
+)
+from repro.core.failure_model import (
+    DiversityFailureModel,
+    combine_unit_probabilities,
+    predicted_failure_probability,
+)
+
+__all__ = [
+    "CorrelationPoint",
+    "CorrelationResult",
+    "correlate",
+    "WorkloadCharacterization",
+    "characterize_program",
+    "characterize_trace",
+    "diversity_of",
+    "unit_diversities",
+    "DiversityFailureModel",
+    "combine_unit_probabilities",
+    "predicted_failure_probability",
+]

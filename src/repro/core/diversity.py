@@ -1,0 +1,96 @@
+"""Instruction diversity: the ISS-side observable of the correlation.
+
+The paper defines *instruction's diversity* as "the number of unique
+instruction types (opcodes) used by the application"; it "represents the area
+the application exercises by assuming all instructions make a uniform use of
+microcontroller resources".  Because the study targets permanent faults, the
+metric is independent of the order in which instructions execute — a property
+the test suite checks explicitly.
+
+Per-unit diversity ``D_m`` restricts the count to the opcodes that exercise
+functional unit ``m`` (Section 3), which feeds the area-weighted model of
+Equation 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from repro.isa.assembler import Program
+from repro.isa.instructions import INSTRUCTION_SET, FunctionalUnit
+from repro.iss.emulator import Emulator, ExecutionResult
+from repro.iss.memory import Memory
+from repro.iss.trace import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class WorkloadCharacterization:
+    """The per-workload quantities reported in Table 1 of the paper."""
+
+    name: str
+    total_instructions: int
+    integer_unit_instructions: int
+    memory_instructions: int
+    diversity: int
+    unit_diversity: Dict[FunctionalUnit, int]
+    opcode_histogram: Dict[str, int]
+
+    def as_row(self) -> Dict[str, int]:
+        """Table 1 row (column names follow the paper)."""
+        return {
+            "Total": self.total_instructions,
+            "Integer Unit": self.integer_unit_instructions,
+            "Memory": self.memory_instructions,
+            "Diversity": self.diversity,
+        }
+
+
+def diversity_of(trace: ExecutionTrace) -> int:
+    """Overall instruction diversity of an execution trace."""
+    return trace.diversity
+
+
+def unit_diversities(trace: ExecutionTrace) -> Dict[FunctionalUnit, int]:
+    """Per-functional-unit diversity ``D_m`` of an execution trace."""
+    return {unit: trace.unit_diversity(unit) for unit in FunctionalUnit}
+
+
+def diversity_from_opcodes(opcodes: Iterable[str]) -> int:
+    """Diversity of a static opcode collection (used for static estimates)."""
+    return len({opcode for opcode in opcodes if opcode in INSTRUCTION_SET})
+
+
+def characterize_trace(name: str, trace: ExecutionTrace) -> WorkloadCharacterization:
+    """Build a :class:`WorkloadCharacterization` from an existing trace."""
+    return WorkloadCharacterization(
+        name=name,
+        total_instructions=trace.total_instructions,
+        integer_unit_instructions=trace.integer_unit_instructions,
+        memory_instructions=trace.memory_instructions,
+        diversity=trace.diversity,
+        unit_diversity=unit_diversities(trace),
+        opcode_histogram=trace.opcode_histogram(),
+    )
+
+
+def characterize_program(
+    program: Program,
+    name: Optional[str] = None,
+    max_instructions: int = 2_000_000,
+) -> WorkloadCharacterization:
+    """Run *program* on the ISS and characterise it (Table 1 style).
+
+    This is exactly the paper's flow: the ISS functional emulator decodes and
+    executes the application, and the characterisation is derived from the
+    decoded instruction stream — no RTL information is needed.
+    """
+    emulator = Emulator(memory=Memory())
+    emulator.load_program(program)
+    result: ExecutionResult = emulator.run(max_instructions=max_instructions)
+    if not result.normal_exit:
+        kind = result.trap.kind if result.trap else "no exit"
+        raise RuntimeError(
+            f"workload {program.name!r} did not terminate normally on the ISS ({kind})"
+        )
+    return characterize_trace(name or program.name, result.trace)

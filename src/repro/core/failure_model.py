@@ -1,0 +1,160 @@
+"""Area-weighted failure-probability model (Equation 1 of the paper).
+
+The paper expresses the probability that a permanent fault becomes a failure
+as a weighted sum over the processor's functional units::
+
+    Pf = sum_m  alpha_m * Pf_m                                  (Eq. 1)
+
+where ``alpha_m`` is the fraction of the total area occupied by unit ``m`` and
+``Pf_m`` the failure probability of faults located in that unit.  The paper
+estimates ``Pf_m`` from the unit's utilisation, which at the ISS level is
+approximated by the per-unit instruction diversity ``D_m``.
+
+Two model flavours are provided:
+
+* :func:`combine_unit_probabilities` — the literal Eq. 1 combination, taking
+  measured (or predicted) per-unit probabilities,
+* :class:`DiversityFailureModel` — a predictor calibrated on RTL campaign
+  results that maps diversity to ``Pf`` through the logarithmic law of
+  Figure 7, optionally per functional unit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.regression import LogFit, fit_log
+from repro.isa.instructions import FunctionalUnit
+from repro.leon3.area import area_fraction, unit_area_table
+
+
+def combine_unit_probabilities(
+    unit_probabilities: Mapping[FunctionalUnit, float],
+    areas: Optional[Mapping[FunctionalUnit, float]] = None,
+) -> float:
+    """Combine per-unit failure probabilities with area weights (Eq. 1).
+
+    ``alpha_m`` is normalised over the units present in *unit_probabilities*,
+    i.e. the scope of the estimate is the set of units that were analysed
+    (e.g. only the IU units for Figure 5, only the caches for Figure 6).
+    """
+    if not unit_probabilities:
+        return 0.0
+    table = dict(unit_area_table() if areas is None else areas)
+    scope = tuple(unit_probabilities)
+    return sum(
+        area_fraction(unit, scope=scope, areas=table) * probability
+        for unit, probability in unit_probabilities.items()
+    )
+
+
+@dataclass(frozen=True)
+class CalibrationPoint:
+    """One calibration observation: diversity value and measured ``Pf``."""
+
+    diversity: float
+    failure_probability: float
+    workload: str = ""
+    unit: Optional[FunctionalUnit] = None
+
+
+@dataclass
+class DiversityFailureModel:
+    """Predict ``Pf`` from instruction diversity.
+
+    The model is calibrated from RTL fault-injection measurements (pairs of
+    diversity and measured failure probability) by fitting the logarithmic law
+    used in Figure 7.  Once calibrated it predicts the failure probability of
+    *new* workloads from their ISS trace alone — the use case motivating the
+    paper (fault injection before RTL exists, or without re-running RTL after
+    a software change).
+    """
+
+    points: list = field(default_factory=list)
+    _fit: Optional[LogFit] = None
+
+    def add_observation(
+        self, diversity: float, failure_probability: float, workload: str = ""
+    ) -> None:
+        """Add a calibration observation and invalidate the cached fit."""
+        if diversity <= 0:
+            raise ValueError("diversity must be positive")
+        if not 0.0 <= failure_probability <= 1.0:
+            raise ValueError("failure probability must be within [0, 1]")
+        self.points.append(
+            CalibrationPoint(diversity, failure_probability, workload=workload)
+        )
+        self._fit = None
+
+    def add_observations(
+        self, observations: Iterable[Tuple[float, float]]
+    ) -> None:
+        for diversity, probability in observations:
+            self.add_observation(diversity, probability)
+
+    @property
+    def calibrated(self) -> bool:
+        return len(self.points) >= 2
+
+    def fit(self) -> LogFit:
+        """Fit (or return the cached) logarithmic model."""
+        if not self.calibrated:
+            raise RuntimeError("at least two calibration points are required")
+        if self._fit is None:
+            xs = [point.diversity for point in self.points]
+            ys = [point.failure_probability for point in self.points]
+            self._fit = fit_log(xs, ys)
+        return self._fit
+
+    def predict(self, diversity: float) -> float:
+        """Predicted failure probability for a workload of given diversity."""
+        prediction = self.fit().predict(diversity)
+        return min(max(prediction, 0.0), 1.0)
+
+    def r_squared(self) -> float:
+        return self.fit().r2
+
+
+def predicted_failure_probability(
+    unit_diversity: Mapping[FunctionalUnit, int],
+    unit_models: Mapping[FunctionalUnit, DiversityFailureModel],
+    areas: Optional[Mapping[FunctionalUnit, float]] = None,
+) -> float:
+    """Full Eq. 1 pipeline: per-unit prediction then area-weighted combination.
+
+    For every unit with a calibrated model, ``Pf_m`` is predicted from the
+    unit's diversity ``D_m``; the per-unit predictions are then combined with
+    the area weights.
+    """
+    unit_probabilities: Dict[FunctionalUnit, float] = {}
+    for unit, model in unit_models.items():
+        if not model.calibrated:
+            continue
+        diversity = unit_diversity.get(unit, 0)
+        if diversity <= 0:
+            unit_probabilities[unit] = 0.0
+        else:
+            unit_probabilities[unit] = model.predict(diversity)
+    return combine_unit_probabilities(unit_probabilities, areas=areas)
+
+
+def per_unit_models_from_campaigns(
+    observations: Sequence[Tuple[Mapping[FunctionalUnit, int], Mapping[FunctionalUnit, float]]]
+) -> Dict[FunctionalUnit, DiversityFailureModel]:
+    """Calibrate one model per functional unit from campaign observations.
+
+    *observations* is a sequence of ``(unit_diversity, unit_pf)`` pairs, one
+    per workload: the per-unit diversity comes from the ISS trace, the
+    per-unit failure probabilities from an RTL campaign on that workload.
+    """
+    models: Dict[FunctionalUnit, DiversityFailureModel] = {}
+    for unit_diversity, unit_pf in observations:
+        for unit, probability in unit_pf.items():
+            diversity = unit_diversity.get(unit, 0)
+            if diversity <= 0:
+                continue
+            models.setdefault(unit, DiversityFailureModel()).add_observation(
+                diversity, probability
+            )
+    return {unit: model for unit, model in models.items() if model.calibrated}

@@ -1,0 +1,145 @@
+"""Report rendering and the paper's reference values.
+
+The benchmark harness prints, for every table and figure, the rows/series the
+paper reports next to the reproduction's measurements.  This module holds the
+reference numbers transcribed from the paper and small plain-text table
+formatters (no plotting dependencies are required).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+from repro.core.correlation import CorrelationResult
+from repro.core.diversity import WorkloadCharacterization
+from repro.faultinjection.results import CampaignResult
+from repro.rtl.faults import FaultModel
+
+# ---------------------------------------------------------------------------
+# Reference values transcribed from the paper
+# ---------------------------------------------------------------------------
+
+#: Table 1 — benchmarks characterisation as printed in the paper.
+PAPER_TABLE1: Dict[str, Dict[str, int]] = {
+    "puwmod": {"Total": 111866, "Integer Unit": 111862, "Memory": 40613, "Diversity": 47},
+    "canrdr": {"Total": 96492, "Integer Unit": 96488, "Memory": 33766, "Diversity": 48},
+    "ttsprk": {"Total": 96053, "Integer Unit": 96049, "Memory": 34905, "Diversity": 47},
+    "rspeed": {"Total": 75058, "Integer Unit": 75054, "Memory": 25155, "Diversity": 47},
+    "membench": {"Total": 19908, "Integer Unit": 19908, "Memory": 4385, "Diversity": 18},
+    "intbench": {"Total": 2621, "Integer Unit": 2621, "Memory": 19, "Diversity": 20},
+}
+
+#: Figure 7 — logarithmic fit reported by the paper (stuck-at-1, IU nodes).
+PAPER_FIG7_FIT = {"coefficient": 0.0838, "intercept": -0.0191, "r_squared": 0.9246}
+
+#: Figure 5 — approximate Pf ranges from the paper's bar chart (IU nodes).
+PAPER_FIG5_RANGES = {
+    "automotive": (0.28, 0.37),  # puwmod/canrdr/ttsprk/rspeed, all three models
+    "synthetic": (0.10, 0.27),   # membench / intbench
+}
+
+#: Figure 6 — approximate Pf ranges from the paper's bar chart (CMEM nodes).
+PAPER_FIG6_RANGES = {
+    "automotive": (0.13, 0.22),
+    "synthetic": (0.05, 0.15),
+}
+
+#: Figure 3 — input-data spread (percentage points) observed in the paper.
+PAPER_FIG3_MAX_SPREAD_PP = 4.0
+
+#: Section 4.2 — simulation cost reported by the paper.
+PAPER_SIMULATION_HOURS = {"rtl": 25478.0, "iss": 300.0}
+
+
+# ---------------------------------------------------------------------------
+# Plain-text rendering helpers
+# ---------------------------------------------------------------------------
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence]) -> str:
+    """Render a simple aligned text table."""
+    rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+    lines = [render_row(headers), render_row(["-" * width for width in widths])]
+    lines.extend(render_row(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_table1(
+    measured: Mapping[str, WorkloadCharacterization],
+    reference: Mapping[str, Mapping[str, int]] = PAPER_TABLE1,
+) -> str:
+    """Side-by-side Table 1: paper values vs measured values."""
+    headers = [
+        "Benchmark",
+        "Total (paper)", "Total (ours)",
+        "IU (paper)", "IU (ours)",
+        "Memory (paper)", "Memory (ours)",
+        "Diversity (paper)", "Diversity (ours)",
+    ]
+    rows: List[List[str]] = []
+    for name, characterization in measured.items():
+        paper = reference.get(name, {})
+        rows.append([
+            name,
+            paper.get("Total", "-"), characterization.total_instructions,
+            paper.get("Integer Unit", "-"), characterization.integer_unit_instructions,
+            paper.get("Memory", "-"), characterization.memory_instructions,
+            paper.get("Diversity", "-"), characterization.diversity,
+        ])
+    return format_table(headers, rows)
+
+
+def render_campaign_matrix(
+    results: Mapping[str, Mapping[FaultModel, CampaignResult]],
+    title: str,
+) -> str:
+    """Render a Figure 5/6-style matrix: workloads x fault models -> Pf."""
+    models = sorted(
+        {model for per_workload in results.values() for model in per_workload},
+        key=lambda model: model.value,
+    )
+    headers = ["Benchmark"] + [model.label for model in models] + ["Injections"]
+    rows = []
+    for workload, per_model in results.items():
+        row = [workload]
+        injections = 0
+        for model in models:
+            result = per_model.get(model)
+            if result is None:
+                row.append("-")
+            else:
+                row.append(f"{result.failure_probability * 100:5.1f}%")
+                injections = result.injections
+        row.append(injections)
+        rows.append(row)
+    return f"{title}\n{format_table(headers, rows)}"
+
+
+def render_correlation(result: CorrelationResult) -> str:
+    """Render the Figure 7 points and fit next to the paper's fit."""
+    headers = ["Workload", "Diversity", "Pf (measured)", "Pf (fit)"]
+    rows = []
+    for point in sorted(result.points, key=lambda p: p.diversity):
+        rows.append([
+            point.workload,
+            f"{point.diversity:.0f}",
+            f"{point.failure_probability * 100:5.1f}%",
+            f"{result.predict(point.diversity) * 100:5.1f}%",
+        ])
+    paper = PAPER_FIG7_FIT
+    lines = [
+        format_table(headers, rows),
+        "",
+        f"measured fit : {result.describe()}",
+        (
+            "paper fit    : y = "
+            f"{paper['coefficient']:.4f}*ln(x) - {abs(paper['intercept']):.4f}"
+            f"  (R^2 = {paper['r_squared']:.4f})"
+        ),
+    ]
+    return "\n".join(lines)

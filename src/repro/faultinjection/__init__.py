@@ -1,0 +1,29 @@
+"""Permanent-fault injection campaigns on the structural Leon3 model.
+
+The campaign flow mirrors the paper's RTL methodology (Figure 2):
+
+1. run the workload fault-free and capture the *golden* off-core transaction
+   stream,
+2. enumerate (or sample) the injectable sites of the targeted units (IU or
+   CMEM),
+3. for each site and fault model, re-run the workload with the saboteur
+   active and compare its off-core stream against the golden one,
+4. classify each injection (no effect, wrong data, missing/extra activity,
+   trap, hang) and aggregate the percentage of faults that propagate to
+   failures — the ``Pf`` reported in Figures 3-7.
+"""
+
+from repro.faultinjection.campaign import CampaignConfig, FaultInjectionCampaign
+from repro.faultinjection.comparison import FailureClass, compare_runs
+from repro.faultinjection.injector import FaultInjector
+from repro.faultinjection.results import CampaignResult, InjectionOutcome
+
+__all__ = [
+    "CampaignConfig",
+    "FaultInjectionCampaign",
+    "FailureClass",
+    "compare_runs",
+    "FaultInjector",
+    "CampaignResult",
+    "InjectionOutcome",
+]

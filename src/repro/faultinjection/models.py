@@ -1,0 +1,32 @@
+"""Fault-model re-exports and helper constructors.
+
+The RTL fault models live in :mod:`repro.rtl.faults` (they are a property of
+the simulation substrate) and the architectural ones in
+:mod:`repro.iss.faults`.  This module re-exports both families so that user
+code driving campaigns only needs one import, and provides small helpers to
+build fault lists.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.iss.faults import ArchitecturalFault
+from repro.rtl.faults import ALL_FAULT_MODELS, FaultModel, PermanentFault
+from repro.rtl.sites import FaultSite
+
+__all__ = [
+    "ArchitecturalFault",
+    "ALL_FAULT_MODELS",
+    "FaultModel",
+    "PermanentFault",
+    "FaultSite",
+    "faults_for_sites",
+]
+
+
+def faults_for_sites(
+    sites: Sequence[FaultSite], model: FaultModel
+) -> List[PermanentFault]:
+    """Build one :class:`PermanentFault` of *model* for every site."""
+    return [PermanentFault(site=site, model=model) for site in sites]

@@ -1,0 +1,134 @@
+"""Result containers and statistics for fault-injection campaigns."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.faultinjection.comparison import FailureClass
+from repro.isa.instructions import FunctionalUnit
+from repro.leon3.units import functional_unit_for_path
+from repro.rtl.faults import FaultModel, PermanentFault
+
+#: Nominal clock used to convert propagation latencies to microseconds.
+CLOCK_HZ = 80_000_000
+
+
+@dataclass(frozen=True)
+class InjectionOutcome:
+    """Result of one fault-injection experiment."""
+
+    fault: PermanentFault
+    failure_class: FailureClass
+    detection_cycle: Optional[int] = None
+    faulty_instructions: int = 0
+
+    @property
+    def is_failure(self) -> bool:
+        return self.failure_class.is_failure
+
+    @property
+    def functional_unit(self) -> Optional[FunctionalUnit]:
+        return functional_unit_for_path(self.fault.site.unit)
+
+    @property
+    def detection_latency_us(self) -> Optional[float]:
+        """Fault-to-detection latency in microseconds (permanent faults are
+        present from cycle 0, so the detection cycle *is* the latency)."""
+        if self.detection_cycle is None:
+            return None
+        return self.detection_cycle / CLOCK_HZ * 1e6
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated results of one campaign (one workload, model and unit scope)."""
+
+    workload: str
+    fault_model: FaultModel
+    unit_scope: str
+    outcomes: List[InjectionOutcome] = field(default_factory=list)
+    golden_instructions: int = 0
+    golden_cycles: int = 0
+    golden_transactions: int = 0
+    #: Wall-clock seconds spent simulating (golden + faulty runs).
+    simulation_seconds: float = 0.0
+
+    # -- core statistics ------------------------------------------------------------
+
+    @property
+    def injections(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.is_failure)
+
+    @property
+    def failure_probability(self) -> float:
+        """``Pf``: fraction of injected faults that propagated to failures."""
+        if not self.outcomes:
+            return 0.0
+        return self.failures / self.injections
+
+    def classification_histogram(self) -> Dict[FailureClass, int]:
+        return dict(Counter(outcome.failure_class for outcome in self.outcomes))
+
+    # -- per functional unit ------------------------------------------------------------
+
+    def per_unit_probabilities(self) -> Dict[FunctionalUnit, float]:
+        """``Pf_m`` per functional unit (only units that received injections)."""
+        per_unit: Dict[FunctionalUnit, List[bool]] = {}
+        for outcome in self.outcomes:
+            unit = outcome.functional_unit
+            if unit is None:
+                continue
+            per_unit.setdefault(unit, []).append(outcome.is_failure)
+        return {
+            unit: sum(flags) / len(flags) for unit, flags in per_unit.items() if flags
+        }
+
+    def per_unit_injections(self) -> Dict[FunctionalUnit, int]:
+        counts: Dict[FunctionalUnit, int] = {}
+        for outcome in self.outcomes:
+            unit = outcome.functional_unit
+            if unit is None:
+                continue
+            counts[unit] = counts.get(unit, 0) + 1
+        return counts
+
+    # -- propagation latency ----------------------------------------------------------------
+
+    def detection_latencies_us(self) -> List[float]:
+        return [
+            outcome.detection_latency_us
+            for outcome in self.outcomes
+            if outcome.is_failure and outcome.detection_latency_us is not None
+        ]
+
+    @property
+    def max_detection_latency_us(self) -> float:
+        latencies = self.detection_latencies_us()
+        return max(latencies) if latencies else 0.0
+
+    @property
+    def mean_detection_latency_us(self) -> float:
+        latencies = self.detection_latencies_us()
+        return sum(latencies) / len(latencies) if latencies else 0.0
+
+    # -- presentation --------------------------------------------------------------------------
+
+    def summary(self) -> dict:
+        """Plain-dict summary used by the report generators and benchmarks."""
+        return {
+            "workload": self.workload,
+            "fault_model": self.fault_model.value,
+            "unit_scope": self.unit_scope,
+            "injections": self.injections,
+            "failures": self.failures,
+            "failure_probability": self.failure_probability,
+            "max_detection_latency_us": self.max_detection_latency_us,
+            "golden_instructions": self.golden_instructions,
+            "simulation_seconds": self.simulation_seconds,
+        }

@@ -1,0 +1,94 @@
+"""Integer condition-code (icc) helpers.
+
+The SPARCv8 processor state register (PSR) carries four integer condition
+codes — negative (N), zero (Z), overflow (V) and carry (C) — updated by the
+``cc`` variants of the ALU instructions and consumed by the ``Bicc``
+conditional branches.  Both the ISS emulator and the structural Leon3 model
+use the helpers in this module so that their architectural behaviour cannot
+drift apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.encoding import bit, to_u32
+
+
+@dataclass
+class ConditionCodes:
+    """The four integer condition-code flags."""
+
+    n: int = 0
+    z: int = 0
+    v: int = 0
+    c: int = 0
+
+    def as_bits(self) -> int:
+        """Pack the flags in PSR order (N Z V C, N being the MSB)."""
+        return (self.n << 3) | (self.z << 2) | (self.v << 1) | self.c
+
+    @classmethod
+    def from_bits(cls, value: int) -> "ConditionCodes":
+        return cls(n=bit(value, 3), z=bit(value, 2), v=bit(value, 1), c=bit(value, 0))
+
+    def copy(self) -> "ConditionCodes":
+        return ConditionCodes(self.n, self.z, self.v, self.c)
+
+
+def icc_logic(result: int) -> ConditionCodes:
+    """Condition codes produced by logical operations (V and C cleared)."""
+    result = to_u32(result)
+    return ConditionCodes(n=bit(result, 31), z=1 if result == 0 else 0, v=0, c=0)
+
+
+def icc_add(op1: int, op2: int, result: int, carry_in: int = 0) -> ConditionCodes:
+    """Condition codes for an addition ``result = op1 + op2 + carry_in``."""
+    op1, op2 = to_u32(op1), to_u32(op2)
+    full = op1 + op2 + carry_in
+    result = to_u32(result)
+    n = bit(result, 31)
+    z = 1 if result == 0 else 0
+    v = 1 if (bit(op1, 31) == bit(op2, 31)) and (bit(result, 31) != bit(op1, 31)) else 0
+    c = 1 if full > 0xFFFFFFFF else 0
+    return ConditionCodes(n=n, z=z, v=v, c=c)
+
+
+def icc_sub(op1: int, op2: int, result: int, borrow_in: int = 0) -> ConditionCodes:
+    """Condition codes for a subtraction ``result = op1 - op2 - borrow_in``."""
+    op1, op2 = to_u32(op1), to_u32(op2)
+    result = to_u32(result)
+    n = bit(result, 31)
+    z = 1 if result == 0 else 0
+    v = 1 if (bit(op1, 31) != bit(op2, 31)) and (bit(result, 31) != bit(op1, 31)) else 0
+    c = 1 if (op2 + borrow_in) > op1 else 0
+    return ConditionCodes(n=n, z=z, v=v, c=c)
+
+
+def evaluate_condition(cond: int, icc: ConditionCodes) -> bool:
+    """Evaluate a Bicc condition code against the current flags.
+
+    The encoding follows the SPARCv8 manual: conditions 8..15 are the logical
+    complements of conditions 0..7.
+    """
+    n, z, v, c = icc.n, icc.z, icc.v, icc.c
+    base = cond & 0x7
+    if base == 0:  # bn / ba
+        result = False
+    elif base == 1:  # be / bne
+        result = bool(z)
+    elif base == 2:  # ble / bg
+        result = bool(z or (n ^ v))
+    elif base == 3:  # bl / bge
+        result = bool(n ^ v)
+    elif base == 4:  # bleu / bgu
+        result = bool(c or z)
+    elif base == 5:  # bcs / bcc
+        result = bool(c)
+    elif base == 6:  # bneg / bpos
+        result = bool(n)
+    else:  # bvs / bvc
+        result = bool(v)
+    if cond & 0x8:
+        return not result
+    return result

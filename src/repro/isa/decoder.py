@@ -1,0 +1,135 @@
+"""Binary decoder: 32-bit SPARCv8 words to :class:`Instruction` objects.
+
+The decoder is shared by the ISS functional emulator and the structural Leon3
+model — both consume :class:`Instruction` instances, which bundle the raw
+fields of the encoding together with the static :class:`InstructionDef`
+(category, functional units, latency) looked up from the opcode table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa import encoding
+from repro.isa.encoding import (
+    OP_ARITH,
+    OP_BRANCH_SETHI,
+    OP_CALL,
+    OP_MEMORY,
+    OP2_BICC,
+    OP2_SETHI,
+    bits,
+)
+from repro.isa.instructions import (
+    INSTRUCTION_SET,
+    InstructionDef,
+)
+
+
+class DecodeError(ValueError):
+    """Raised when a word does not decode to a supported instruction."""
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A decoded instruction: raw fields plus its static definition."""
+
+    word: int
+    defn: InstructionDef
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: Optional[int] = None
+    disp: int = 0
+    annul: bool = False
+    asi: int = 0
+
+    @property
+    def mnemonic(self) -> str:
+        return self.defn.mnemonic
+
+    @property
+    def uses_immediate(self) -> bool:
+        return self.imm is not None
+
+    def operand_registers(self) -> tuple:
+        """Source register indices read by this instruction."""
+        defn = self.defn
+        if defn.mnemonic in ("sethi", "call") or defn.category.value == "branch":
+            return ()
+        regs = [self.rs1]
+        if not self.uses_immediate:
+            regs.append(self.rs2)
+        if defn.writes_memory:
+            regs.append(self.rd)
+        return tuple(regs)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        if self.defn.mnemonic == "sethi":
+            return f"sethi %hi({self.imm << 10:#x}), r{self.rd}"
+        if self.defn.mnemonic == "call":
+            return f"call {self.disp:+#x}"
+        if self.defn.category.value == "branch":
+            suffix = ",a" if self.annul else ""
+            return f"{self.mnemonic}{suffix} {self.disp:+#x}"
+        src2 = f"{self.imm:#x}" if self.uses_immediate else f"r{self.rs2}"
+        return f"{self.mnemonic} r{self.rs1}, {src2}, r{self.rd}"
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit instruction word.
+
+    Raises :class:`DecodeError` for encodings outside the supported SPARCv8
+    subset (which the ISS treats as an illegal-instruction trap).
+    """
+    word &= 0xFFFFFFFF
+    op = bits(word, 31, 30)
+
+    if op == OP_CALL:
+        fmt = encoding.Format1.decode(word)
+        defn = INSTRUCTION_SET.by_mnemonic("call")
+        return Instruction(word=word, defn=defn, rd=15, disp=fmt.disp30 * 4)
+
+    if op == OP_BRANCH_SETHI:
+        op2 = bits(word, 24, 22)
+        if op2 == OP2_SETHI:
+            fmt2 = encoding.Format2Sethi.decode(word)
+            defn = INSTRUCTION_SET.by_mnemonic("sethi")
+            return Instruction(word=word, defn=defn, rd=fmt2.rd, imm=fmt2.imm22)
+        if op2 == OP2_BICC:
+            br = encoding.Format2Branch.decode(word)
+            try:
+                defn = INSTRUCTION_SET.by_condition(br.cond)
+            except KeyError as exc:  # pragma: no cover - all 16 conditions defined
+                raise DecodeError(f"unknown branch condition {br.cond}") from exc
+            return Instruction(
+                word=word, defn=defn, disp=br.disp22 * 4, annul=br.annul
+            )
+        raise DecodeError(f"unsupported format-2 op2={op2} in word {word:#010x}")
+
+    if op in (OP_ARITH, OP_MEMORY):
+        fields = encoding.decode_format3(word)
+        defn = INSTRUCTION_SET.by_op_op3(op, fields["op3"])
+        if defn is None:
+            raise DecodeError(
+                f"unsupported op3={fields['op3']:#x} (op={op}) in word {word:#010x}"
+            )
+        if fields["i"]:
+            return Instruction(
+                word=word,
+                defn=defn,
+                rd=fields["rd"],
+                rs1=fields["rs1"],
+                imm=fields["simm13"],
+            )
+        return Instruction(
+            word=word,
+            defn=defn,
+            rd=fields["rd"],
+            rs1=fields["rs1"],
+            rs2=fields["rs2"],
+            asi=fields.get("asi", 0),
+        )
+
+    raise DecodeError(f"unsupported major opcode {op} in word {word:#010x}")

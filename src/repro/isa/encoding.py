@@ -1,0 +1,203 @@
+"""SPARCv8 instruction formats and bit-field helpers.
+
+The SPARCv8 architecture defines three instruction formats, all 32 bits wide:
+
+* **Format 1** (``op == 1``): ``CALL`` with a 30-bit word displacement.
+* **Format 2** (``op == 0``): ``SETHI`` and the integer conditional branches
+  (``Bicc``), carrying a 22-bit immediate / displacement.
+* **Format 3** (``op == 2`` or ``op == 3``): register-register and
+  register-immediate ALU, load/store and control instructions, selected by a
+  6-bit ``op3`` field.
+
+This module provides masking/shifting helpers to build and take apart those
+encodings without scattering magic numbers through the code base.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+WORD_MASK = 0xFFFFFFFF
+WORD_BITS = 32
+
+#: Major opcode values (bits 31:30).
+OP_BRANCH_SETHI = 0
+OP_CALL = 1
+OP_ARITH = 2
+OP_MEMORY = 3
+
+#: ``op2`` values for format-2 instructions (bits 24:22).
+OP2_UNIMP = 0
+OP2_BICC = 2
+OP2_SETHI = 4
+
+
+def mask(value: int, bits: int) -> int:
+    """Truncate *value* to an unsigned field of *bits* bits."""
+    return value & ((1 << bits) - 1)
+
+
+def sign_extend(value: int, bits: int) -> int:
+    """Sign-extend the *bits*-wide field *value* to a Python integer."""
+    value = mask(value, bits)
+    if value & (1 << (bits - 1)):
+        return value - (1 << bits)
+    return value
+
+
+def to_u32(value: int) -> int:
+    """Wrap an arbitrary Python integer to an unsigned 32-bit word."""
+    return value & WORD_MASK
+
+
+def to_s32(value: int) -> int:
+    """Interpret an unsigned 32-bit word as a signed integer."""
+    return sign_extend(value, 32)
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit *index* (0 = LSB) of *value*."""
+    return (value >> index) & 1
+
+
+def bits(value: int, high: int, low: int) -> int:
+    """Return the inclusive bit slice ``value[high:low]``."""
+    return (value >> low) & ((1 << (high - low + 1)) - 1)
+
+
+class EncodingError(ValueError):
+    """Raised when a field does not fit its encoding slot."""
+
+
+def _check_field(name: str, value: int, width: int, signed: bool = False) -> int:
+    if signed:
+        low, high = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        if not low <= value <= high:
+            raise EncodingError(
+                f"{name}={value} does not fit a signed {width}-bit field"
+            )
+        return mask(value, width)
+    if not 0 <= value < (1 << width):
+        raise EncodingError(f"{name}={value} does not fit a {width}-bit field")
+    return value
+
+
+@dataclass(frozen=True)
+class Format1:
+    """CALL instruction: 30-bit PC-relative word displacement."""
+
+    disp30: int
+
+    def encode(self) -> int:
+        return (OP_CALL << 30) | mask(self.disp30, 30)
+
+    @classmethod
+    def decode(cls, word: int) -> "Format1":
+        return cls(disp30=sign_extend(word, 30))
+
+
+@dataclass(frozen=True)
+class Format2Sethi:
+    """SETHI: load a 22-bit immediate into the upper bits of *rd*."""
+
+    rd: int
+    imm22: int
+
+    def encode(self) -> int:
+        rd = _check_field("rd", self.rd, 5)
+        imm = _check_field("imm22", self.imm22, 22)
+        return (OP_BRANCH_SETHI << 30) | (rd << 25) | (OP2_SETHI << 22) | imm
+
+    @classmethod
+    def decode(cls, word: int) -> "Format2Sethi":
+        return cls(rd=bits(word, 29, 25), imm22=bits(word, 21, 0))
+
+
+@dataclass(frozen=True)
+class Format2Branch:
+    """Bicc: integer conditional branch with annul bit and 22-bit displacement."""
+
+    cond: int
+    disp22: int
+    annul: bool = False
+
+    def encode(self) -> int:
+        cond = _check_field("cond", self.cond, 4)
+        disp = _check_field("disp22", self.disp22, 22, signed=True)
+        a_bit = 1 if self.annul else 0
+        return (
+            (OP_BRANCH_SETHI << 30)
+            | (a_bit << 29)
+            | (cond << 25)
+            | (OP2_BICC << 22)
+            | disp
+        )
+
+    @classmethod
+    def decode(cls, word: int) -> "Format2Branch":
+        return cls(
+            cond=bits(word, 28, 25),
+            disp22=sign_extend(word, 22),
+            annul=bool(bit(word, 29)),
+        )
+
+
+@dataclass(frozen=True)
+class Format3Reg:
+    """Format 3 with a register second operand (``i == 0``)."""
+
+    op: int
+    op3: int
+    rd: int
+    rs1: int
+    rs2: int
+    asi: int = 0
+
+    def encode(self) -> int:
+        op = _check_field("op", self.op, 2)
+        op3 = _check_field("op3", self.op3, 6)
+        rd = _check_field("rd", self.rd, 5)
+        rs1 = _check_field("rs1", self.rs1, 5)
+        rs2 = _check_field("rs2", self.rs2, 5)
+        asi = _check_field("asi", self.asi, 8)
+        return (op << 30) | (rd << 25) | (op3 << 19) | (rs1 << 14) | (asi << 5) | rs2
+
+
+@dataclass(frozen=True)
+class Format3Imm:
+    """Format 3 with a 13-bit signed immediate second operand (``i == 1``)."""
+
+    op: int
+    op3: int
+    rd: int
+    rs1: int
+    simm13: int
+
+    def encode(self) -> int:
+        op = _check_field("op", self.op, 2)
+        op3 = _check_field("op3", self.op3, 6)
+        rd = _check_field("rd", self.rd, 5)
+        rs1 = _check_field("rs1", self.rs1, 5)
+        simm = _check_field("simm13", self.simm13, 13, signed=True)
+        return (op << 30) | (rd << 25) | (op3 << 19) | (rs1 << 14) | (1 << 13) | simm
+
+
+def decode_format3(word: int) -> dict:
+    """Break a format-3 word into its raw fields.
+
+    Returns a dictionary with keys ``op``, ``op3``, ``rd``, ``rs1``, ``i`` and
+    either ``rs2``/``asi`` or ``simm13`` depending on the ``i`` bit.
+    """
+    fields = {
+        "op": bits(word, 31, 30),
+        "rd": bits(word, 29, 25),
+        "op3": bits(word, 24, 19),
+        "rs1": bits(word, 18, 14),
+        "i": bit(word, 13),
+    }
+    if fields["i"]:
+        fields["simm13"] = sign_extend(word, 13)
+    else:
+        fields["asi"] = bits(word, 12, 5)
+        fields["rs2"] = bits(word, 4, 0)
+    return fields

@@ -1,0 +1,326 @@
+"""SPARCv8 opcode table, instruction categories and functional-unit usage.
+
+The table defined here is the single source of truth for:
+
+* the assembler (mnemonic -> encoding fields),
+* the decoder (encoding fields -> mnemonic),
+* the ISS emulator (semantics dispatch, latency),
+* the diversity analysis (which functional units each opcode exercises).
+
+The *functional unit* mapping is central to the paper's methodology: the
+instruction-diversity metric for a microcontroller unit ``m`` counts the
+distinct opcodes that exercise ``m`` (Section 3 of the paper), and the
+area-weighted failure model (Eq. 1) combines the per-unit probabilities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.isa.encoding import OP_ARITH, OP_MEMORY
+
+
+class FunctionalUnit(enum.Enum):
+    """Microcontroller functional units visible to the fault-injection study.
+
+    The split follows the structural decomposition of the Leon3 integer unit
+    and cache memory used in the paper: the front end (fetch/decode) is
+    exercised by every instruction, while execution resources (adder, logic
+    unit, shifter, multiplier, divider, condition codes, load/store path,
+    caches) are only exercised by the instruction types that need them.
+    """
+
+    FETCH = "fetch"
+    DECODE = "decode"
+    REGFILE = "regfile"
+    ALU_ADDER = "alu_adder"
+    ALU_LOGIC = "alu_logic"
+    SHIFTER = "shifter"
+    MULTIPLIER = "multiplier"
+    DIVIDER = "divider"
+    BRANCH_UNIT = "branch_unit"
+    PSR = "psr"
+    LSU = "lsu"
+    ICACHE = "icache"
+    DCACHE = "dcache"
+    WRITEBACK = "writeback"
+
+
+class InstructionCategory(enum.Enum):
+    """Coarse instruction classes used for workload characterisation."""
+
+    ARITHMETIC = "arithmetic"
+    LOGICAL = "logical"
+    SHIFT = "shift"
+    MULTIPLY = "multiply"
+    DIVIDE = "divide"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    CALL = "call"
+    JUMP = "jump"
+    SETHI = "sethi"
+    WINDOW = "window"
+    STATE = "state"
+    TRAP = "trap"
+
+
+#: Units exercised by every instruction (front end + register access + WB).
+_COMMON_UNITS = frozenset(
+    {
+        FunctionalUnit.FETCH,
+        FunctionalUnit.DECODE,
+        FunctionalUnit.ICACHE,
+        FunctionalUnit.REGFILE,
+        FunctionalUnit.WRITEBACK,
+    }
+)
+
+
+@dataclass(frozen=True)
+class InstructionDef:
+    """Static definition of one SPARCv8 instruction type (opcode)."""
+
+    mnemonic: str
+    category: InstructionCategory
+    #: Major opcode (bits 31:30); ``None`` for format-2 instructions.
+    op: Optional[int] = None
+    #: ``op3`` field for format-3 instructions.
+    op3: Optional[int] = None
+    #: Branch condition code for Bicc instructions.
+    cond: Optional[int] = None
+    #: Functional units this opcode exercises beyond the common front end.
+    extra_units: FrozenSet[FunctionalUnit] = field(default_factory=frozenset)
+    #: Nominal execution latency in cycles (Leon3-like integer pipeline).
+    latency: int = 1
+    #: True when the instruction updates the integer condition codes.
+    sets_icc: bool = False
+    #: True when the instruction reads data memory.
+    reads_memory: bool = False
+    #: True when the instruction writes data memory.
+    writes_memory: bool = False
+    #: Number of bytes accessed for memory operations (0 otherwise).
+    access_size: int = 0
+    #: True for sign-extending loads.
+    sign_extend: bool = False
+    #: True for instructions that may change control flow.
+    is_control: bool = False
+
+    @property
+    def units(self) -> FrozenSet[FunctionalUnit]:
+        """All functional units exercised by this opcode."""
+        return _COMMON_UNITS | self.extra_units
+
+    @property
+    def is_memory(self) -> bool:
+        return self.reads_memory or self.writes_memory
+
+
+def _units(*names: FunctionalUnit) -> FrozenSet[FunctionalUnit]:
+    return frozenset(names)
+
+
+_ADDER = _units(FunctionalUnit.ALU_ADDER)
+_ADDER_CC = _units(FunctionalUnit.ALU_ADDER, FunctionalUnit.PSR)
+_LOGIC = _units(FunctionalUnit.ALU_LOGIC)
+_LOGIC_CC = _units(FunctionalUnit.ALU_LOGIC, FunctionalUnit.PSR)
+_SHIFT = _units(FunctionalUnit.SHIFTER)
+_MUL = _units(FunctionalUnit.MULTIPLIER, FunctionalUnit.PSR)
+_DIV = _units(FunctionalUnit.DIVIDER, FunctionalUnit.PSR)
+_LOAD = _units(FunctionalUnit.ALU_ADDER, FunctionalUnit.LSU, FunctionalUnit.DCACHE)
+_STORE = _units(FunctionalUnit.ALU_ADDER, FunctionalUnit.LSU, FunctionalUnit.DCACHE)
+_BRANCH = _units(FunctionalUnit.BRANCH_UNIT, FunctionalUnit.PSR)
+_CTI = _units(FunctionalUnit.BRANCH_UNIT, FunctionalUnit.ALU_ADDER)
+
+
+# ---------------------------------------------------------------------------
+# Format-3 arithmetic / logical / shift / mul / div / control (op == 2)
+# ---------------------------------------------------------------------------
+
+_ARITH_DEFS: Tuple[InstructionDef, ...] = (
+    # Basic ALU
+    InstructionDef("add", InstructionCategory.ARITHMETIC, OP_ARITH, 0x00, extra_units=_ADDER),
+    InstructionDef("and", InstructionCategory.LOGICAL, OP_ARITH, 0x01, extra_units=_LOGIC),
+    InstructionDef("or", InstructionCategory.LOGICAL, OP_ARITH, 0x02, extra_units=_LOGIC),
+    InstructionDef("xor", InstructionCategory.LOGICAL, OP_ARITH, 0x03, extra_units=_LOGIC),
+    InstructionDef("sub", InstructionCategory.ARITHMETIC, OP_ARITH, 0x04, extra_units=_ADDER),
+    InstructionDef("andn", InstructionCategory.LOGICAL, OP_ARITH, 0x05, extra_units=_LOGIC),
+    InstructionDef("orn", InstructionCategory.LOGICAL, OP_ARITH, 0x06, extra_units=_LOGIC),
+    InstructionDef("xnor", InstructionCategory.LOGICAL, OP_ARITH, 0x07, extra_units=_LOGIC),
+    InstructionDef("addx", InstructionCategory.ARITHMETIC, OP_ARITH, 0x08, extra_units=_ADDER_CC),
+    InstructionDef("subx", InstructionCategory.ARITHMETIC, OP_ARITH, 0x0C, extra_units=_ADDER_CC),
+    # Multiply / divide
+    InstructionDef("umul", InstructionCategory.MULTIPLY, OP_ARITH, 0x0A, extra_units=_MUL, latency=4),
+    InstructionDef("smul", InstructionCategory.MULTIPLY, OP_ARITH, 0x0B, extra_units=_MUL, latency=4),
+    InstructionDef("udiv", InstructionCategory.DIVIDE, OP_ARITH, 0x0E, extra_units=_DIV, latency=35),
+    InstructionDef("sdiv", InstructionCategory.DIVIDE, OP_ARITH, 0x0F, extra_units=_DIV, latency=35),
+    # Condition-code setting variants
+    InstructionDef("addcc", InstructionCategory.ARITHMETIC, OP_ARITH, 0x10, extra_units=_ADDER_CC, sets_icc=True),
+    InstructionDef("andcc", InstructionCategory.LOGICAL, OP_ARITH, 0x11, extra_units=_LOGIC_CC, sets_icc=True),
+    InstructionDef("orcc", InstructionCategory.LOGICAL, OP_ARITH, 0x12, extra_units=_LOGIC_CC, sets_icc=True),
+    InstructionDef("xorcc", InstructionCategory.LOGICAL, OP_ARITH, 0x13, extra_units=_LOGIC_CC, sets_icc=True),
+    InstructionDef("subcc", InstructionCategory.ARITHMETIC, OP_ARITH, 0x14, extra_units=_ADDER_CC, sets_icc=True),
+    InstructionDef("andncc", InstructionCategory.LOGICAL, OP_ARITH, 0x15, extra_units=_LOGIC_CC, sets_icc=True),
+    InstructionDef("orncc", InstructionCategory.LOGICAL, OP_ARITH, 0x16, extra_units=_LOGIC_CC, sets_icc=True),
+    InstructionDef("xnorcc", InstructionCategory.LOGICAL, OP_ARITH, 0x17, extra_units=_LOGIC_CC, sets_icc=True),
+    InstructionDef("addxcc", InstructionCategory.ARITHMETIC, OP_ARITH, 0x18, extra_units=_ADDER_CC, sets_icc=True),
+    InstructionDef("umulcc", InstructionCategory.MULTIPLY, OP_ARITH, 0x1A, extra_units=_MUL, sets_icc=True, latency=4),
+    InstructionDef("smulcc", InstructionCategory.MULTIPLY, OP_ARITH, 0x1B, extra_units=_MUL, sets_icc=True, latency=4),
+    InstructionDef("subxcc", InstructionCategory.ARITHMETIC, OP_ARITH, 0x1C, extra_units=_ADDER_CC, sets_icc=True),
+    InstructionDef("udivcc", InstructionCategory.DIVIDE, OP_ARITH, 0x1E, extra_units=_DIV, sets_icc=True, latency=35),
+    InstructionDef("sdivcc", InstructionCategory.DIVIDE, OP_ARITH, 0x1F, extra_units=_DIV, sets_icc=True, latency=35),
+    # Shifts
+    InstructionDef("sll", InstructionCategory.SHIFT, OP_ARITH, 0x25, extra_units=_SHIFT),
+    InstructionDef("srl", InstructionCategory.SHIFT, OP_ARITH, 0x26, extra_units=_SHIFT),
+    InstructionDef("sra", InstructionCategory.SHIFT, OP_ARITH, 0x27, extra_units=_SHIFT),
+    # State registers
+    InstructionDef("rd", InstructionCategory.STATE, OP_ARITH, 0x28, extra_units=_units(FunctionalUnit.PSR)),
+    InstructionDef("wr", InstructionCategory.STATE, OP_ARITH, 0x30, extra_units=_units(FunctionalUnit.PSR)),
+    # Control transfer / windows
+    InstructionDef("jmpl", InstructionCategory.JUMP, OP_ARITH, 0x38, extra_units=_CTI, is_control=True, latency=2),
+    InstructionDef("ticc", InstructionCategory.TRAP, OP_ARITH, 0x3A, extra_units=_BRANCH, is_control=True),
+    InstructionDef("save", InstructionCategory.WINDOW, OP_ARITH, 0x3C, extra_units=_ADDER),
+    InstructionDef("restore", InstructionCategory.WINDOW, OP_ARITH, 0x3D, extra_units=_ADDER),
+)
+
+# ---------------------------------------------------------------------------
+# Format-3 loads / stores (op == 3)
+# ---------------------------------------------------------------------------
+
+_MEMORY_DEFS: Tuple[InstructionDef, ...] = (
+    InstructionDef("ld", InstructionCategory.LOAD, OP_MEMORY, 0x00, extra_units=_LOAD, reads_memory=True, access_size=4, latency=2),
+    InstructionDef("ldub", InstructionCategory.LOAD, OP_MEMORY, 0x01, extra_units=_LOAD, reads_memory=True, access_size=1, latency=2),
+    InstructionDef("lduh", InstructionCategory.LOAD, OP_MEMORY, 0x02, extra_units=_LOAD, reads_memory=True, access_size=2, latency=2),
+    InstructionDef("ldd", InstructionCategory.LOAD, OP_MEMORY, 0x03, extra_units=_LOAD, reads_memory=True, access_size=8, latency=3),
+    InstructionDef("st", InstructionCategory.STORE, OP_MEMORY, 0x04, extra_units=_STORE, writes_memory=True, access_size=4, latency=3),
+    InstructionDef("stb", InstructionCategory.STORE, OP_MEMORY, 0x05, extra_units=_STORE, writes_memory=True, access_size=1, latency=3),
+    InstructionDef("sth", InstructionCategory.STORE, OP_MEMORY, 0x06, extra_units=_STORE, writes_memory=True, access_size=2, latency=3),
+    InstructionDef("std", InstructionCategory.STORE, OP_MEMORY, 0x07, extra_units=_STORE, writes_memory=True, access_size=8, latency=4),
+    InstructionDef("ldsb", InstructionCategory.LOAD, OP_MEMORY, 0x09, extra_units=_LOAD, reads_memory=True, access_size=1, sign_extend=True, latency=2),
+    InstructionDef("ldsh", InstructionCategory.LOAD, OP_MEMORY, 0x0A, extra_units=_LOAD, reads_memory=True, access_size=2, sign_extend=True, latency=2),
+)
+
+# ---------------------------------------------------------------------------
+# Format-2: SETHI and conditional branches
+# ---------------------------------------------------------------------------
+
+#: Bicc condition encodings (SPARCv8 manual, table 5-14).
+BRANCH_CONDITIONS: Dict[str, int] = {
+    "bn": 0x0,
+    "be": 0x1,
+    "ble": 0x2,
+    "bl": 0x3,
+    "bleu": 0x4,
+    "bcs": 0x5,
+    "bneg": 0x6,
+    "bvs": 0x7,
+    "ba": 0x8,
+    "bne": 0x9,
+    "bg": 0xA,
+    "bge": 0xB,
+    "bgu": 0xC,
+    "bcc": 0xD,
+    "bpos": 0xE,
+    "bvc": 0xF,
+}
+
+_SETHI_DEF = InstructionDef(
+    "sethi",
+    InstructionCategory.SETHI,
+    extra_units=_units(FunctionalUnit.ALU_LOGIC),
+)
+
+_BRANCH_DEFS: Tuple[InstructionDef, ...] = tuple(
+    InstructionDef(
+        mnemonic,
+        InstructionCategory.BRANCH,
+        cond=cond,
+        extra_units=_BRANCH,
+        is_control=True,
+        latency=1,
+    )
+    for mnemonic, cond in BRANCH_CONDITIONS.items()
+)
+
+_CALL_DEF = InstructionDef(
+    "call",
+    InstructionCategory.CALL,
+    extra_units=_CTI,
+    is_control=True,
+    latency=2,
+)
+
+
+class InstructionSet:
+    """Lookup helpers over the full instruction table."""
+
+    def __init__(self, definitions: Iterable[InstructionDef]):
+        self._by_mnemonic: Dict[str, InstructionDef] = {}
+        self._by_op_op3: Dict[Tuple[int, int], InstructionDef] = {}
+        self._by_cond: Dict[int, InstructionDef] = {}
+        for item in definitions:
+            if item.mnemonic in self._by_mnemonic:
+                raise ValueError(f"duplicate mnemonic {item.mnemonic!r}")
+            self._by_mnemonic[item.mnemonic] = item
+            if item.op is not None and item.op3 is not None:
+                key = (item.op, item.op3)
+                if key in self._by_op_op3:
+                    raise ValueError(f"duplicate op/op3 {key}")
+                self._by_op_op3[key] = item
+            if item.cond is not None:
+                self._by_cond[item.cond] = item
+
+    def __iter__(self):
+        return iter(self._by_mnemonic.values())
+
+    def __len__(self) -> int:
+        return len(self._by_mnemonic)
+
+    def __contains__(self, mnemonic: str) -> bool:
+        return mnemonic in self._by_mnemonic
+
+    def by_mnemonic(self, mnemonic: str) -> InstructionDef:
+        """Return the definition for *mnemonic* (raises ``KeyError`` if unknown)."""
+        return self._by_mnemonic[mnemonic]
+
+    def by_op_op3(self, op: int, op3: int) -> Optional[InstructionDef]:
+        """Return the format-3 definition for ``(op, op3)`` or ``None``."""
+        return self._by_op_op3.get((op, op3))
+
+    def by_condition(self, cond: int) -> InstructionDef:
+        """Return the branch definition for Bicc condition code *cond*."""
+        return self._by_cond[cond]
+
+    @property
+    def mnemonics(self) -> Tuple[str, ...]:
+        return tuple(self._by_mnemonic)
+
+    def opcodes_for_unit(self, unit: FunctionalUnit) -> Tuple[str, ...]:
+        """All mnemonics whose execution exercises functional unit *unit*."""
+        return tuple(
+            item.mnemonic for item in self._by_mnemonic.values() if unit in item.units
+        )
+
+
+_ALL_DEFS: Tuple[InstructionDef, ...] = (
+    _ARITH_DEFS + _MEMORY_DEFS + (_SETHI_DEF, _CALL_DEF) + _BRANCH_DEFS
+)
+
+#: The singleton instruction-set table.
+INSTRUCTION_SET = InstructionSet(_ALL_DEFS)
+
+
+def instruction_set() -> InstructionSet:
+    """Return the global SPARCv8 (subset) instruction table."""
+    return INSTRUCTION_SET
+
+
+def lookup(mnemonic: str) -> InstructionDef:
+    """Return the :class:`InstructionDef` for *mnemonic*.
+
+    Raises :class:`KeyError` when the mnemonic is not part of the supported
+    subset.
+    """
+    return INSTRUCTION_SET.by_mnemonic(mnemonic)

@@ -1,0 +1,127 @@
+"""SPARCv8 windowed integer register file.
+
+The SPARC architecture exposes 32 registers at any point in time: 8 globals
+(``%g0``–``%g7``) plus 24 window registers split into *ins* (``%i0``–``%i7``),
+*locals* (``%l0``–``%l7``) and *outs* (``%o0``–``%o7``).  ``save``/``restore``
+rotate the current window pointer (CWP); the *outs* of a window overlap the
+*ins* of the next, which is how arguments are passed across calls.
+
+The Leon3 default of 8 windows is used.  ``%g0`` always reads as zero and
+ignores writes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.isa.encoding import to_u32
+
+NUM_GLOBALS = 8
+WINDOW_REGS = 16  # 8 locals + 8 ins per window
+DEFAULT_WINDOWS = 8
+
+
+class RegisterWindowError(RuntimeError):
+    """Raised on register-window overflow or underflow.
+
+    A full implementation would take a window overflow/underflow trap and
+    spill/fill to the stack; the workloads used for the fault-injection study
+    are written to stay within the available windows, so the simulators treat
+    it as a fatal execution error instead.
+    """
+
+
+class RegisterFile:
+    """Windowed register file with SPARC semantics.
+
+    Physical layout: ``globals[8]`` plus a circular buffer of
+    ``nwindows * 16`` registers.  For the window selected by ``cwp``:
+
+    * ``%o0-%o7`` (indices 8-15) map to the *next* window's ins,
+    * ``%l0-%l7`` (indices 16-23) map to this window's locals,
+    * ``%i0-%i7`` (indices 24-31) map to this window's ins.
+    """
+
+    def __init__(self, nwindows: int = DEFAULT_WINDOWS):
+        if nwindows < 2:
+            raise ValueError("at least two register windows are required")
+        self.nwindows = nwindows
+        self._globals: List[int] = [0] * NUM_GLOBALS
+        self._windows: List[int] = [0] * (nwindows * WINDOW_REGS)
+        self.cwp = 0
+        #: Window invalid mask; window ``nwindows - 1`` is reserved, matching
+        #: the usual SPARC convention of keeping one window for the trap
+        #: handler.
+        self._saved_depth = 0
+
+    # -- physical index computation ---------------------------------------
+
+    def _physical_index(self, reg: int, cwp: int) -> int:
+        """Map architectural register *reg* (8..31) to a physical slot."""
+        if 8 <= reg <= 15:  # outs -> ins of the next (lower) window
+            window = (cwp + 1) % self.nwindows
+            offset = reg - 8 + 8  # outs occupy the "ins" slots of window+1
+        elif 16 <= reg <= 23:  # locals
+            window = cwp
+            offset = reg - 16
+        else:  # 24..31, ins
+            window = cwp
+            offset = reg - 24 + 8
+        return window * WINDOW_REGS + offset
+
+    # -- architectural access ----------------------------------------------
+
+    def read(self, reg: int) -> int:
+        """Read architectural register *reg* (0-31) in the current window."""
+        if not 0 <= reg < 32:
+            raise IndexError(f"register index {reg} out of range")
+        if reg == 0:
+            return 0
+        if reg < NUM_GLOBALS:
+            return self._globals[reg]
+        return self._windows[self._physical_index(reg, self.cwp)]
+
+    def write(self, reg: int, value: int) -> None:
+        """Write architectural register *reg*; writes to ``%g0`` are ignored."""
+        if not 0 <= reg < 32:
+            raise IndexError(f"register index {reg} out of range")
+        if reg == 0:
+            return
+        value = to_u32(value)
+        if reg < NUM_GLOBALS:
+            self._globals[reg] = value
+        else:
+            self._windows[self._physical_index(reg, self.cwp)] = value
+
+    # -- window management ---------------------------------------------------
+
+    def save(self) -> None:
+        """Rotate to a new window (``save``); raises on overflow."""
+        if self._saved_depth >= self.nwindows - 1:
+            raise RegisterWindowError("register window overflow")
+        self.cwp = (self.cwp + 1) % self.nwindows
+        self._saved_depth += 1
+
+    def restore(self) -> None:
+        """Rotate back to the previous window (``restore``); raises on underflow."""
+        if self._saved_depth <= 0:
+            raise RegisterWindowError("register window underflow")
+        self.cwp = (self.cwp - 1) % self.nwindows
+        self._saved_depth -= 1
+
+    # -- utilities ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Return a copy of the visible architectural state (for comparisons)."""
+        return {
+            "cwp": self.cwp,
+            "globals": list(self._globals),
+            "window": [self.read(reg) for reg in range(8, 32)],
+        }
+
+    def reset(self) -> None:
+        """Clear all registers and return to window 0."""
+        self._globals = [0] * NUM_GLOBALS
+        self._windows = [0] * (self.nwindows * WINDOW_REGS)
+        self.cwp = 0
+        self._saved_depth = 0

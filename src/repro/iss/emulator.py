@@ -1,0 +1,418 @@
+"""Functional emulator: the interpreter half of the ISS.
+
+The emulator executes SPARCv8 (subset) machine code with full architectural
+fidelity for the supported instructions: windowed register file, integer
+condition codes, the Y register for multiply/divide, delayed control transfer
+with annul bits, and traps.  It produces:
+
+* an :class:`~repro.iss.trace.ExecutionTrace` with opcode / functional-unit
+  statistics (the input to the diversity analysis), and
+* the sequence of off-core transactions (memory writes and I/O accesses),
+  which is the comparison point used to declare failures.
+
+Programs signal normal termination with a ``ta`` (trap-always) instruction,
+mirroring how bare-metal benchmarks on the Leon3 hand control back to the
+boot monitor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.isa.assembler import Program
+from repro.isa.ccodes import ConditionCodes, evaluate_condition, icc_add, icc_logic, icc_sub
+from repro.isa.decoder import DecodeError, Instruction, decode
+from repro.isa.encoding import to_s32, to_u32
+from repro.isa.instructions import InstructionCategory
+from repro.isa.registers import RegisterFile, RegisterWindowError
+from repro.iss.memory import Memory, MemoryError_
+from repro.iss.timing import TimingModel
+from repro.iss.trace import ExecutionTrace, OffCoreTransaction
+
+#: Addresses at or above this value are treated as memory-mapped I/O
+#: (the Leon3 APB/AHB peripheral space starts at 0x80000000).
+IO_BASE = 0x80000000
+
+#: Default stack top placed well above the data section.
+DEFAULT_STACK_TOP = 0x4007FFF0
+
+
+class SimulationError(RuntimeError):
+    """Raised when the emulator cannot continue (bad state, runaway program)."""
+
+
+@dataclass(frozen=True)
+class TrapEvent:
+    """A trap taken during execution."""
+
+    kind: str
+    pc: int
+    detail: str = ""
+
+    @property
+    def is_exit(self) -> bool:
+        return self.kind == "exit"
+
+
+@dataclass
+class ExecutionResult:
+    """Outcome of one emulated program run."""
+
+    trace: ExecutionTrace
+    transactions: List[OffCoreTransaction]
+    instructions: int
+    cycles: int
+    halted: bool
+    exit_code: Optional[int] = None
+    trap: Optional[TrapEvent] = None
+    final_pc: int = 0
+
+    @property
+    def normal_exit(self) -> bool:
+        return self.halted and self.trap is not None and self.trap.is_exit
+
+
+@dataclass
+class _ControlTransfer:
+    """Pending delayed control transfer (branch/call/jmpl target)."""
+
+    target: int
+    annul_delay_slot: bool = False
+
+
+class Emulator:
+    """SPARCv8 functional emulator with a lightweight timing annotation."""
+
+    def __init__(
+        self,
+        memory: Optional[Memory] = None,
+        nwindows: int = 8,
+        timing: Optional[TimingModel] = None,
+        detailed_trace: bool = False,
+    ):
+        self.memory = memory if memory is not None else Memory()
+        self.registers = RegisterFile(nwindows=nwindows)
+        self.icc = ConditionCodes()
+        self.y_register = 0
+        self.pc = 0
+        self.npc = 4
+        self.timing = timing if timing is not None else TimingModel()
+        self.detailed_trace = detailed_trace
+        self._annul_next = False
+
+    # -- program setup ------------------------------------------------------------
+
+    def load_program(self, program: Program) -> None:
+        """Load *program* into memory and point the PC at its entry."""
+        self.memory.load_program(program)
+        self.reset(entry_point=program.entry_point)
+
+    def reset(self, entry_point: int = 0) -> None:
+        """Reset the architectural state (memory contents are preserved)."""
+        self.registers.reset()
+        self.icc = ConditionCodes()
+        self.y_register = 0
+        self.pc = entry_point
+        self.npc = entry_point + 4
+        self.registers.write(14, DEFAULT_STACK_TOP)  # %sp
+        self._annul_next = False
+        self.timing.reset()
+
+    # -- main loop -----------------------------------------------------------------
+
+    def run(self, max_instructions: int = 2_000_000) -> ExecutionResult:
+        """Run until the program exits via ``ta`` or a fatal trap occurs."""
+        trace = ExecutionTrace(detailed=self.detailed_trace)
+        transactions: List[OffCoreTransaction] = []
+        trap: Optional[TrapEvent] = None
+        halted = False
+        exit_code: Optional[int] = None
+        executed = 0
+
+        while executed < max_instructions:
+            current_pc = self.pc
+            if self._annul_next:
+                # The delay-slot instruction is annulled: skip it without
+                # executing or recording it.
+                self._annul_next = False
+                self.pc = self.npc
+                self.npc += 4
+                continue
+            try:
+                word = self.memory.read_word(current_pc)
+                instruction = decode(word)
+            except (MemoryError_, DecodeError) as exc:
+                trap = TrapEvent("illegal_instruction", current_pc, str(exc))
+                halted = True
+                break
+
+            trace.record(instruction, current_pc, self.timing.cycles)
+            executed += 1
+            self.timing.account(instruction)
+
+            try:
+                outcome = self._execute(instruction, current_pc, transactions)
+            except RegisterWindowError as exc:
+                trap = TrapEvent("window", current_pc, str(exc))
+                halted = True
+                break
+            except MemoryError_ as exc:
+                trap = TrapEvent("memory", current_pc, str(exc))
+                halted = True
+                break
+            except ZeroDivisionError:
+                trap = TrapEvent("division_by_zero", current_pc)
+                halted = True
+                break
+
+            if isinstance(outcome, TrapEvent):
+                trap = outcome
+                halted = True
+                if outcome.is_exit:
+                    exit_code = int(outcome.detail) if outcome.detail else 0
+                break
+
+            if isinstance(outcome, _ControlTransfer):
+                self.pc = self.npc
+                self.npc = outcome.target
+                self._annul_next = outcome.annul_delay_slot
+            else:
+                self.pc = self.npc
+                self.npc += 4
+
+        if executed >= max_instructions and not halted:
+            trap = TrapEvent("watchdog", self.pc, "instruction budget exhausted")
+
+        return ExecutionResult(
+            trace=trace,
+            transactions=transactions,
+            instructions=executed,
+            cycles=self.timing.cycles,
+            halted=halted,
+            exit_code=exit_code,
+            trap=trap,
+            final_pc=self.pc,
+        )
+
+    # -- instruction execution ---------------------------------------------------------
+
+    def _execute(self, instruction: Instruction, pc: int, transactions: List[OffCoreTransaction]):
+        defn = instruction.defn
+        mnemonic = defn.mnemonic
+        category = defn.category
+
+        if category == InstructionCategory.BRANCH:
+            return self._execute_branch(instruction, pc)
+        if mnemonic == "call":
+            self.registers.write(15, pc)
+            return _ControlTransfer(target=to_u32(pc + instruction.disp))
+        if mnemonic == "sethi":
+            self.registers.write(instruction.rd, to_u32(instruction.imm << 10))
+            return None
+        if mnemonic == "jmpl":
+            target = self._operand_sum(instruction)
+            self.registers.write(instruction.rd, pc)
+            return _ControlTransfer(target=target)
+        if mnemonic == "ticc":
+            return self._execute_trap(instruction, pc)
+        if mnemonic in ("save", "restore"):
+            return self._execute_window(instruction)
+        if mnemonic == "rd":
+            self.registers.write(instruction.rd, self.y_register)
+            return None
+        if mnemonic == "wr":
+            self.y_register = self._alu_operands(instruction)[0] ^ self._alu_operands(instruction)[1]
+            return None
+        if defn.is_memory:
+            return self._execute_memory(instruction, transactions)
+        return self._execute_alu(instruction)
+
+    # -- operand helpers -------------------------------------------------------------
+
+    def _alu_operands(self, instruction: Instruction):
+        op1 = self.registers.read(instruction.rs1)
+        if instruction.uses_immediate:
+            op2 = to_u32(instruction.imm)
+        else:
+            op2 = self.registers.read(instruction.rs2)
+        return op1, op2
+
+    def _operand_sum(self, instruction: Instruction) -> int:
+        op1, op2 = self._alu_operands(instruction)
+        return to_u32(op1 + op2)
+
+    # -- ALU ----------------------------------------------------------------------------
+
+    def _execute_alu(self, instruction: Instruction):
+        defn = instruction.defn
+        mnemonic = defn.mnemonic
+        op1, op2 = self._alu_operands(instruction)
+        base = mnemonic[:-2] if mnemonic.endswith("cc") and mnemonic not in ("ticc",) else mnemonic
+
+        carry = self.icc.c
+        new_icc: Optional[ConditionCodes] = None
+
+        if base == "add":
+            result = to_u32(op1 + op2)
+            new_icc = icc_add(op1, op2, result)
+        elif base == "addx":
+            result = to_u32(op1 + op2 + carry)
+            new_icc = icc_add(op1, op2, result, carry_in=carry)
+        elif base == "sub":
+            result = to_u32(op1 - op2)
+            new_icc = icc_sub(op1, op2, result)
+        elif base == "subx":
+            result = to_u32(op1 - op2 - carry)
+            new_icc = icc_sub(op1, op2, result, borrow_in=carry)
+        elif base == "and":
+            result = op1 & op2
+            new_icc = icc_logic(result)
+        elif base == "andn":
+            result = op1 & to_u32(~op2)
+            new_icc = icc_logic(result)
+        elif base == "or":
+            result = op1 | op2
+            new_icc = icc_logic(result)
+        elif base == "orn":
+            result = op1 | to_u32(~op2)
+            new_icc = icc_logic(result)
+        elif base == "xor":
+            result = op1 ^ op2
+            new_icc = icc_logic(result)
+        elif base == "xnor":
+            result = to_u32(~(op1 ^ op2))
+            new_icc = icc_logic(result)
+        elif base == "sll":
+            result = to_u32(op1 << (op2 & 0x1F))
+        elif base == "srl":
+            result = op1 >> (op2 & 0x1F)
+        elif base == "sra":
+            result = to_u32(to_s32(op1) >> (op2 & 0x1F))
+        elif base == "umul":
+            product = op1 * op2
+            result = to_u32(product)
+            self.y_register = to_u32(product >> 32)
+            new_icc = icc_logic(result)
+        elif base == "smul":
+            product = to_s32(op1) * to_s32(op2)
+            result = to_u32(product)
+            self.y_register = to_u32(product >> 32)
+            new_icc = icc_logic(result)
+        elif base == "udiv":
+            if op2 == 0:
+                raise ZeroDivisionError
+            dividend = (self.y_register << 32) | op1
+            result = to_u32(min(dividend // op2, 0xFFFFFFFF))
+            new_icc = icc_logic(result)
+        elif base == "sdiv":
+            if op2 == 0:
+                raise ZeroDivisionError
+            dividend_u = (self.y_register << 32) | op1
+            dividend = dividend_u - (1 << 64) if dividend_u & (1 << 63) else dividend_u
+            divisor = to_s32(op2)
+            quotient = abs(dividend) // abs(divisor)
+            if (dividend < 0) != (divisor < 0):
+                quotient = -quotient
+            quotient = max(min(quotient, 0x7FFFFFFF), -0x80000000)
+            result = to_u32(quotient)
+            new_icc = icc_logic(result)
+        else:  # pragma: no cover - table and dispatch are kept in sync
+            raise SimulationError(f"no ALU semantics for {mnemonic}")
+
+        self.registers.write(instruction.rd, result)
+        if defn.sets_icc and new_icc is not None:
+            self.icc = new_icc
+        return None
+
+    # -- branches, traps, windows ----------------------------------------------------------
+
+    def _execute_branch(self, instruction: Instruction, pc: int):
+        cond = instruction.defn.cond
+        taken = evaluate_condition(cond, self.icc)
+        target = to_u32(pc + instruction.disp)
+        always = cond == 0x8
+        never = cond == 0x0
+        if taken:
+            annul_slot = instruction.annul and always
+            return _ControlTransfer(target=target, annul_delay_slot=annul_slot)
+        if never and instruction.annul:
+            # "bn,a" annuls its delay slot unconditionally.
+            self._annul_next = True
+            return None
+        if instruction.annul:
+            self._annul_next = True
+        return None
+
+    def _execute_trap(self, instruction: Instruction, pc: int):
+        trap_number = instruction.imm if instruction.uses_immediate else self.registers.read(instruction.rs2)
+        cond = instruction.rd & 0xF
+        if not evaluate_condition(cond, self.icc):
+            return None
+        if trap_number == 0:
+            return TrapEvent("exit", pc, detail=str(self.registers.read(8) & 0xFF))
+        return TrapEvent("software_trap", pc, detail=str(trap_number))
+
+    def _execute_window(self, instruction: Instruction):
+        op1, op2 = self._alu_operands(instruction)
+        result = to_u32(op1 + op2)
+        if instruction.defn.mnemonic == "save":
+            self.registers.save()
+        else:
+            self.registers.restore()
+        self.registers.write(instruction.rd, result)
+        return None
+
+    # -- memory ---------------------------------------------------------------------------------
+
+    def _execute_memory(self, instruction: Instruction, transactions: List[OffCoreTransaction]):
+        defn = instruction.defn
+        address = self._operand_sum(instruction)
+        is_io = address >= IO_BASE
+
+        if defn.reads_memory:
+            self.timing.account_data_access(address, is_store=False)
+            if defn.access_size == 8:
+                high, low = self.memory.read_double(address)
+                self.registers.write(instruction.rd & ~1, high)
+                self.registers.write((instruction.rd & ~1) | 1, low)
+            else:
+                value = self.memory.read_sized(address, defn.access_size)
+                if defn.sign_extend:
+                    bits = defn.access_size * 8
+                    if value & (1 << (bits - 1)):
+                        value = to_u32(value - (1 << bits))
+                self.registers.write(instruction.rd, value)
+            if is_io:
+                transactions.append(
+                    OffCoreTransaction("io", address, 0, defn.access_size)
+                )
+            return None
+
+        # stores
+        self.timing.account_data_access(address, is_store=True)
+        if defn.access_size == 8:
+            high = self.registers.read(instruction.rd & ~1)
+            low = self.registers.read((instruction.rd & ~1) | 1)
+            self.memory.write_double(address, high, low)
+            transactions.append(OffCoreTransaction("store", address, high, 4))
+            transactions.append(OffCoreTransaction("store", address + 4, low, 4))
+        else:
+            value = self.registers.read(instruction.rd)
+            if defn.access_size == 1:
+                value &= 0xFF
+            elif defn.access_size == 2:
+                value &= 0xFFFF
+            self.memory.write_sized(address, value, defn.access_size)
+            kind = "io" if is_io else "store"
+            transactions.append(
+                OffCoreTransaction(kind, address, value, defn.access_size)
+            )
+        return None
+
+
+def run_program(program: Program, max_instructions: int = 2_000_000, **kwargs) -> ExecutionResult:
+    """Convenience helper: create an emulator, load *program* and run it."""
+    emulator = Emulator(**kwargs)
+    emulator.load_program(program)
+    return emulator.run(max_instructions=max_instructions)

@@ -1,0 +1,129 @@
+"""ISS-level (architectural) fault injection.
+
+The paper observes that the *typical* ISS fault-injection practice — flipping
+or sticking bits in the architectural register file or in memory — cannot by
+itself estimate failure-rate metrics, because it does not model the
+probability that a low-level (RTL) fault propagates to the architectural
+state.  We nevertheless implement that practice faithfully: it is the baseline
+the paper argues about, it is useful for software-level robustness studies
+(benefit B3 in the paper), and it lets users compare architectural-level and
+RTL-level campaigns within the same framework.
+
+Fault models supported on architectural state:
+
+* ``stuck_at_0`` / ``stuck_at_1`` — the chosen register bit is forced before
+  every instruction (a permanent fault as seen by software),
+* ``bit_flip`` — a single transient upset applied once at a chosen
+  instruction index.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.isa.assembler import Program
+from repro.iss.emulator import Emulator, ExecutionResult
+from repro.iss.memory import Memory
+
+
+@dataclass(frozen=True)
+class ArchitecturalFault:
+    """A fault targeting the architectural register file."""
+
+    register: int
+    bit: int
+    model: str  # "stuck_at_0", "stuck_at_1" or "bit_flip"
+    #: Instruction index at which a transient bit flip is applied.
+    trigger_index: int = 0
+
+    def __post_init__(self):
+        if not 0 <= self.register < 32:
+            raise ValueError(f"register {self.register} out of range")
+        if not 0 <= self.bit < 32:
+            raise ValueError(f"bit {self.bit} out of range")
+        if self.model not in ("stuck_at_0", "stuck_at_1", "bit_flip"):
+            raise ValueError(f"unknown fault model {self.model!r}")
+
+    def apply(self, value: int) -> int:
+        """Return *value* with the fault effect applied."""
+        if self.model == "stuck_at_0":
+            return value & ~(1 << self.bit)
+        if self.model == "stuck_at_1":
+            return value | (1 << self.bit)
+        return value ^ (1 << self.bit)
+
+
+class _FaultyEmulator(Emulator):
+    """Emulator specialisation that applies an architectural fault while running."""
+
+    def __init__(self, fault: ArchitecturalFault, **kwargs):
+        super().__init__(**kwargs)
+        self._fault = fault
+        self._executed = 0
+        self._flip_done = False
+
+    def _execute(self, instruction, pc, transactions):
+        fault = self._fault
+        if fault.model == "bit_flip":
+            if not self._flip_done and self._executed >= fault.trigger_index:
+                original = self.registers.read(fault.register)
+                self.registers.write(fault.register, fault.apply(original))
+                self._flip_done = True
+        else:
+            original = self.registers.read(fault.register)
+            self.registers.write(fault.register, fault.apply(original))
+        self._executed += 1
+        return super()._execute(instruction, pc, transactions)
+
+
+class IssFaultInjector:
+    """Run golden and faulty executions of a program at the ISS level."""
+
+    def __init__(self, program: Program, max_instructions: int = 2_000_000):
+        self.program = program
+        self.max_instructions = max_instructions
+        self._golden: Optional[ExecutionResult] = None
+
+    def golden_run(self) -> ExecutionResult:
+        """Execute the program without faults (cached)."""
+        if self._golden is None:
+            emulator = Emulator(memory=Memory())
+            emulator.load_program(self.program)
+            self._golden = emulator.run(max_instructions=self.max_instructions)
+        return self._golden
+
+    def run_with_fault(self, fault: ArchitecturalFault) -> ExecutionResult:
+        """Execute the program with *fault* active."""
+        emulator = _FaultyEmulator(fault, memory=Memory())
+        emulator.load_program(self.program)
+        return emulator.run(max_instructions=self.max_instructions)
+
+    def is_failure(self, faulty: ExecutionResult) -> bool:
+        """Compare the faulty off-core trace against the golden one."""
+        golden = self.golden_run()
+        if len(golden.transactions) != len(faulty.transactions):
+            return True
+        for expected, observed in zip(golden.transactions, faulty.transactions):
+            if not expected.matches(observed):
+                return True
+        if golden.normal_exit != faulty.normal_exit:
+            return True
+        return False
+
+    def campaign(self, faults: List[ArchitecturalFault]) -> dict:
+        """Run a list of faults and return summary statistics."""
+        failures = 0
+        outcomes = []
+        for fault in faults:
+            faulty = self.run_with_fault(fault)
+            failed = self.is_failure(faulty)
+            failures += int(failed)
+            outcomes.append((fault, failed))
+        total = len(faults)
+        return {
+            "total": total,
+            "failures": failures,
+            "failure_probability": failures / total if total else 0.0,
+            "outcomes": outcomes,
+        }

@@ -1,0 +1,28 @@
+"""Structural Leon3-like SPARCv8 microcontroller model.
+
+The model mirrors the decomposition used in the paper's RTL experiments
+(Figure 1a / Figure 2): a 7-stage integer unit (IU) — fetch, decode, register
+access, execute, memory, exception, write-back — plus a separate cache memory
+unit (CMEM) holding the instruction and data caches, connected to external
+memory through an AMBA-style bus whose transactions constitute the off-core
+boundary.
+
+Every intermediate value is driven through the :class:`repro.rtl.Netlist`, so
+each bit of each net and each storage cell is a potential fault-injection
+site, exactly as VHDL signals/ports/variables are in the original study.
+"""
+
+from repro.leon3.area import AREA_FRACTIONS, area_fraction, unit_area_table
+from repro.leon3.bus import BusMonitor
+from repro.leon3.core import Leon3Core, RtlExecutionResult
+from repro.leon3.iu import IntegerUnit
+
+__all__ = [
+    "AREA_FRACTIONS",
+    "area_fraction",
+    "unit_area_table",
+    "BusMonitor",
+    "Leon3Core",
+    "RtlExecutionResult",
+    "IntegerUnit",
+]

@@ -1,0 +1,162 @@
+"""Structural ALU of the integer unit.
+
+The ALU is decomposed the way the Leon3 execute stage is: a carry-propagate
+adder (also used for address generation, ``save``/``restore`` and control
+transfer targets), a logic unit, a barrel shifter, and separate multiply and
+divide units.  Each sub-unit drives its operand and result nets, so faults on
+those nets only disturb the instructions that actually use the sub-unit —
+which is what couples the failure probability to instruction diversity.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.isa.ccodes import ConditionCodes, icc_add, icc_logic, icc_sub
+from repro.isa.encoding import to_s32, to_u32
+from repro.rtl.netlist import Netlist
+
+UNIT_ADDER = "iu.alu.adder"
+UNIT_LOGIC = "iu.alu.logic"
+UNIT_SHIFT = "iu.alu.shifter"
+UNIT_MULT = "iu.alu.multiplier"
+UNIT_DIV = "iu.alu.divider"
+
+
+class Alu:
+    """Adder, logic unit, shifter, multiplier and divider with named nets."""
+
+    def __init__(self, netlist: Netlist):
+        self._netlist = netlist
+        declare = netlist.declare
+        # Adder
+        declare("alu.adder.op1", 32, UNIT_ADDER)
+        declare("alu.adder.op2", 32, UNIT_ADDER)
+        declare("alu.adder.cin", 1, UNIT_ADDER)
+        declare("alu.adder.sum", 32, UNIT_ADDER)
+        declare("alu.adder.cout", 1, UNIT_ADDER)
+        # Logic unit
+        declare("alu.logic.op1", 32, UNIT_LOGIC)
+        declare("alu.logic.op2", 32, UNIT_LOGIC)
+        declare("alu.logic.result", 32, UNIT_LOGIC)
+        # Shifter
+        declare("alu.shift.value", 32, UNIT_SHIFT)
+        declare("alu.shift.count", 5, UNIT_SHIFT)
+        declare("alu.shift.result", 32, UNIT_SHIFT)
+        # Multiplier
+        declare("alu.mult.op1", 32, UNIT_MULT)
+        declare("alu.mult.op2", 32, UNIT_MULT)
+        declare("alu.mult.result_lo", 32, UNIT_MULT)
+        declare("alu.mult.result_hi", 32, UNIT_MULT)
+        # Divider
+        declare("alu.div.op1", 32, UNIT_DIV)
+        declare("alu.div.op2", 32, UNIT_DIV)
+        declare("alu.div.quotient", 32, UNIT_DIV)
+
+    # -- adder -------------------------------------------------------------------
+
+    def add(self, op1: int, op2: int, carry_in: int = 0) -> Tuple[int, ConditionCodes]:
+        """``op1 + op2 + carry_in`` through the adder nets."""
+        drive = self._netlist.drive
+        op1 = drive("alu.adder.op1", op1)
+        op2 = drive("alu.adder.op2", op2)
+        carry_in = drive("alu.adder.cin", carry_in)
+        total = op1 + op2 + carry_in
+        result = drive("alu.adder.sum", to_u32(total))
+        drive("alu.adder.cout", 1 if total > 0xFFFFFFFF else 0)
+        return result, icc_add(op1, op2, result, carry_in=carry_in)
+
+    def subtract(
+        self, op1: int, op2: int, borrow_in: int = 0
+    ) -> Tuple[int, ConditionCodes]:
+        """``op1 - op2 - borrow_in``, implemented on the same adder nets."""
+        drive = self._netlist.drive
+        op1 = drive("alu.adder.op1", op1)
+        op2 = drive("alu.adder.op2", op2)
+        borrow_in = drive("alu.adder.cin", borrow_in)
+        result = drive("alu.adder.sum", to_u32(op1 - op2 - borrow_in))
+        drive("alu.adder.cout", 1 if (op2 + borrow_in) > op1 else 0)
+        return result, icc_sub(op1, op2, result, borrow_in=borrow_in)
+
+    # -- logic unit ----------------------------------------------------------------
+
+    def logic(self, operation: str, op1: int, op2: int) -> Tuple[int, ConditionCodes]:
+        """Bitwise operation through the logic-unit nets.
+
+        *operation* is one of ``and``, ``andn``, ``or``, ``orn``, ``xor``,
+        ``xnor`` or ``mov`` (pass-through of op2, used by ``sethi``).
+        """
+        drive = self._netlist.drive
+        op1 = drive("alu.logic.op1", op1)
+        op2 = drive("alu.logic.op2", op2)
+        if operation == "and":
+            value = op1 & op2
+        elif operation == "andn":
+            value = op1 & to_u32(~op2)
+        elif operation == "or":
+            value = op1 | op2
+        elif operation == "orn":
+            value = op1 | to_u32(~op2)
+        elif operation == "xor":
+            value = op1 ^ op2
+        elif operation == "xnor":
+            value = to_u32(~(op1 ^ op2))
+        elif operation == "mov":
+            value = op2
+        else:  # pragma: no cover - callers pass validated operations
+            raise ValueError(f"unknown logic operation {operation!r}")
+        result = drive("alu.logic.result", value)
+        return result, icc_logic(result)
+
+    # -- shifter ----------------------------------------------------------------------
+
+    def shift(self, operation: str, value: int, count: int) -> int:
+        """Barrel shift through the shifter nets (``sll``/``srl``/``sra``)."""
+        drive = self._netlist.drive
+        value = drive("alu.shift.value", value)
+        count = drive("alu.shift.count", count & 0x1F)
+        if operation == "sll":
+            result = to_u32(value << count)
+        elif operation == "srl":
+            result = value >> count
+        elif operation == "sra":
+            result = to_u32(to_s32(value) >> count)
+        else:  # pragma: no cover
+            raise ValueError(f"unknown shift operation {operation!r}")
+        return drive("alu.shift.result", result)
+
+    # -- multiplier ----------------------------------------------------------------------
+
+    def multiply(self, op1: int, op2: int, signed: bool) -> Tuple[int, int]:
+        """32x32 -> 64 multiplication; returns (low word, high word)."""
+        drive = self._netlist.drive
+        op1 = drive("alu.mult.op1", op1)
+        op2 = drive("alu.mult.op2", op2)
+        if signed:
+            product = to_s32(op1) * to_s32(op2)
+        else:
+            product = op1 * op2
+        low = drive("alu.mult.result_lo", to_u32(product))
+        high = drive("alu.mult.result_hi", to_u32(product >> 32))
+        return low, high
+
+    # -- divider ----------------------------------------------------------------------------
+
+    def divide(self, dividend_hi: int, dividend_lo: int, divisor: int, signed: bool) -> int:
+        """64/32 division (Y:rs1 / rs2); raises ``ZeroDivisionError`` as hardware traps."""
+        drive = self._netlist.drive
+        dividend_lo = drive("alu.div.op1", dividend_lo)
+        divisor = drive("alu.div.op2", divisor)
+        if divisor == 0:
+            raise ZeroDivisionError
+        dividend_u = (dividend_hi << 32) | dividend_lo
+        if signed:
+            dividend = dividend_u - (1 << 64) if dividend_u & (1 << 63) else dividend_u
+            divisor_s = to_s32(divisor)
+            quotient = abs(dividend) // abs(divisor_s)
+            if (dividend < 0) != (divisor_s < 0):
+                quotient = -quotient
+            quotient = max(min(quotient, 0x7FFFFFFF), -0x80000000)
+        else:
+            quotient = min(dividend_u // divisor, 0xFFFFFFFF)
+        return drive("alu.div.quotient", to_u32(quotient))

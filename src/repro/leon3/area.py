@@ -1,0 +1,85 @@
+"""Relative area occupation of the Leon3 functional units.
+
+Equation (1) of the paper weights the per-unit failure probabilities by the
+fraction of the total area each unit occupies (``alpha_m``).  The figures
+below are representative relative areas for a Leon3 integer unit plus cache
+memory configuration (no FPU, no MMU), derived from published Leon3 synthesis
+breakdowns: the multiplier/divider and the register file dominate the IU,
+while the cache RAM arrays dominate the CMEM.
+
+These are *relative* weights — only their ratios matter — and they can be
+overridden by the user when a different configuration is analysed (e.g. a
+synthesis report for a specific technology).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.isa.instructions import FunctionalUnit
+
+#: Relative area of each functional unit (arbitrary units, Leon3-like).
+_UNIT_AREAS: Dict[FunctionalUnit, float] = {
+    FunctionalUnit.FETCH: 4.0,
+    FunctionalUnit.DECODE: 8.0,
+    FunctionalUnit.REGFILE: 22.0,
+    FunctionalUnit.ALU_ADDER: 7.0,
+    FunctionalUnit.ALU_LOGIC: 4.0,
+    FunctionalUnit.SHIFTER: 5.0,
+    FunctionalUnit.MULTIPLIER: 14.0,
+    FunctionalUnit.DIVIDER: 9.0,
+    FunctionalUnit.BRANCH_UNIT: 3.0,
+    FunctionalUnit.PSR: 2.0,
+    FunctionalUnit.LSU: 6.0,
+    FunctionalUnit.WRITEBACK: 3.0,
+    FunctionalUnit.ICACHE: 55.0,
+    FunctionalUnit.DCACHE: 58.0,
+}
+
+#: Units belonging to the integer unit (IU) scope of the study.
+IU_UNITS = (
+    FunctionalUnit.FETCH,
+    FunctionalUnit.DECODE,
+    FunctionalUnit.REGFILE,
+    FunctionalUnit.ALU_ADDER,
+    FunctionalUnit.ALU_LOGIC,
+    FunctionalUnit.SHIFTER,
+    FunctionalUnit.MULTIPLIER,
+    FunctionalUnit.DIVIDER,
+    FunctionalUnit.BRANCH_UNIT,
+    FunctionalUnit.PSR,
+    FunctionalUnit.LSU,
+    FunctionalUnit.WRITEBACK,
+)
+
+#: Units belonging to the cache memory (CMEM) scope of the study.
+CMEM_UNITS = (FunctionalUnit.ICACHE, FunctionalUnit.DCACHE)
+
+
+def unit_area_table() -> Dict[FunctionalUnit, float]:
+    """Return a copy of the default relative-area table."""
+    return dict(_UNIT_AREAS)
+
+
+def area_fraction(
+    unit: FunctionalUnit,
+    scope=None,
+    areas: Mapping[FunctionalUnit, float] = None,
+) -> float:
+    """Return ``alpha_m``: the fraction of the scope's area occupied by *unit*.
+
+    *scope* defaults to all units; pass :data:`IU_UNITS` or :data:`CMEM_UNITS`
+    to normalise within the integer unit or the cache memory respectively.
+    """
+    table = dict(_UNIT_AREAS if areas is None else areas)
+    units = tuple(table) if scope is None else tuple(scope)
+    total = sum(table[u] for u in units)
+    if unit not in units or total == 0:
+        return 0.0
+    return table[unit] / total
+
+
+#: Convenience dictionary of area fractions over the full design.
+AREA_FRACTIONS: Dict[FunctionalUnit, float] = {
+    unit: area_fraction(unit) for unit in _UNIT_AREAS
+}

@@ -1,0 +1,53 @@
+"""Off-core bus monitor.
+
+The off-core boundary is where the paper declares failures: light-lockstep
+microcontrollers (Infineon AURIX, ST SPC56) compare all off-core activity —
+memory writes and I/O accesses — between the two cores and flag any mismatch.
+The bus monitor therefore records every transaction that leaves the core.
+Because the address/data/size values are driven through nets, faults located
+on the bus interface itself (part of the LSU) directly corrupt what the
+lockstep comparator would observe.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.iss.trace import OffCoreTransaction
+from repro.rtl.netlist import Netlist
+
+UNIT_BUS = "iu.lsu"
+
+
+class BusMonitor:
+    """Records the off-core transaction stream of one run."""
+
+    def __init__(self, netlist: Netlist):
+        self._netlist = netlist
+        netlist.declare("bus.addr", 32, UNIT_BUS)
+        netlist.declare("bus.wdata", 32, UNIT_BUS)
+        netlist.declare("bus.size", 4, UNIT_BUS)
+        self.transactions: List[OffCoreTransaction] = []
+        self.read_count = 0
+
+    def record_store(self, address: int, value: int, size: int, io: bool = False) -> None:
+        """Record a store (or I/O write) leaving the core."""
+        address = self._netlist.drive("bus.addr", address)
+        value = self._netlist.drive("bus.wdata", value)
+        size = self._netlist.drive("bus.size", size)
+        kind = "io" if io else "store"
+        self.transactions.append(OffCoreTransaction(kind, address, value, size))
+
+    def record_io_read(self, address: int, size: int) -> None:
+        """Record an I/O read (device reads are externally visible)."""
+        address = self._netlist.drive("bus.addr", address)
+        size = self._netlist.drive("bus.size", size)
+        self.transactions.append(OffCoreTransaction("io", address, 0, size))
+
+    def note_memory_read(self) -> None:
+        """Count a cache-refill read (statistics only, not compared)."""
+        self.read_count += 1
+
+    def reset(self) -> None:
+        self.transactions = []
+        self.read_count = 0

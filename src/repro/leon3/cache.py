@@ -1,0 +1,194 @@
+"""Cache memory (CMEM): instruction and data caches.
+
+The paper's RTL experiments treat the cache memory as a separate unit from the
+integer unit (Figures 1a and 6).  The model implements two direct-mapped,
+write-through caches whose tag, data and valid arrays are injectable storage,
+and whose access path (address decomposition, tag comparison, read data) is
+driven through nets.
+
+Faulty behaviour is therefore realistic:
+
+* a stuck bit in the **data array** corrupts loads (or fetched instructions)
+  that hit the affected word,
+* a stuck bit in the **tag array** can produce false hits/misses and return
+  stale data,
+* a stuck **valid bit** either disables a line (performance only — never a
+  failure) or makes garbage lines appear valid,
+* faults on the address/compare nets disturb every access that uses them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.iss.memory import Memory
+from repro.rtl.netlist import Netlist
+
+
+class DirectMappedCache:
+    """A direct-mapped, write-through cache with injectable arrays."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        memory: Memory,
+        name: str,
+        unit: str,
+        lines: int = 32,
+        words_per_line: int = 8,
+    ):
+        if lines & (lines - 1):
+            raise ValueError("number of lines must be a power of two")
+        if words_per_line & (words_per_line - 1):
+            raise ValueError("words per line must be a power of two")
+        self._netlist = netlist
+        self._memory = memory
+        self.name = name
+        self.unit = unit
+        self.lines = lines
+        self.words_per_line = words_per_line
+        self.line_bytes = words_per_line * 4
+        self.hits = 0
+        self.misses = 0
+
+        self._tags = netlist.declare_array(f"{name}.tags", 22, lines, unit)
+        self._data = netlist.declare_array(
+            f"{name}.data", 32, lines * words_per_line, unit
+        )
+        self._valid = netlist.declare_array(f"{name}.valid", 1, lines, unit)
+        netlist.declare(f"{name}.addr", 32, unit)
+        netlist.declare(f"{name}.index", 16, unit)
+        netlist.declare(f"{name}.tag_in", 22, unit)
+        netlist.declare(f"{name}.hit", 1, unit)
+        netlist.declare(f"{name}.rdata", 32, unit)
+
+    # -- address decomposition -----------------------------------------------------
+
+    def _decompose(self, address: int):
+        address = self._netlist.drive(f"{self.name}.addr", address)
+        word_in_line = (address // 4) % self.words_per_line
+        index = (address // self.line_bytes) % self.lines
+        tag = (address // (self.line_bytes * self.lines)) & 0x3FFFFF
+        index = self._netlist.drive(f"{self.name}.index", index) % self.lines
+        tag = self._netlist.drive(f"{self.name}.tag_in", tag)
+        return address, index, word_in_line, tag
+
+    # -- lookups ----------------------------------------------------------------------
+
+    def _lookup(self, index: int, tag: int) -> bool:
+        valid = self._valid.read(index)
+        stored_tag = self._tags.read(index)
+        hit = bool(valid) and stored_tag == tag
+        return bool(self._netlist.drive(f"{self.name}.hit", 1 if hit else 0))
+
+    def _fill(self, index: int, tag: int, address: int, bus=None) -> None:
+        """Refill the whole line from memory (read-allocate)."""
+        line_base = (address // self.line_bytes) * self.line_bytes
+        for word in range(self.words_per_line):
+            value = self._memory.read_word(line_base + word * 4)
+            self._data.write(index * self.words_per_line + word, value)
+            if bus is not None:
+                bus.note_memory_read()
+        self._tags.write(index, tag)
+        self._valid.write(index, 1)
+
+    # -- word access (shared by loads and fetches) ---------------------------------------
+
+    def read_word(self, address: int, bus=None) -> int:
+        """Read the aligned word containing *address* through the cache."""
+        address, index, word_in_line, tag = self._decompose(address)
+        aligned = address & ~0x3
+        if self._lookup(index, tag):
+            self.hits += 1
+        else:
+            self.misses += 1
+            self._fill(index, tag, aligned, bus=bus)
+        value = self._data.read(index * self.words_per_line + word_in_line)
+        return self._netlist.drive(f"{self.name}.rdata", value)
+
+    def write_word(self, address: int, value: int) -> None:
+        """Write-through: update memory, refresh the cached word if resident."""
+        address, index, word_in_line, tag = self._decompose(address)
+        aligned = address & ~0x3
+        self._memory.write_word(aligned, value)
+        if self._lookup(index, tag):
+            self.hits += 1
+            self._data.write(index * self.words_per_line + word_in_line, value)
+        else:
+            self.misses += 1
+
+    # -- statistics / management -------------------------------------------------------------
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def invalidate(self) -> None:
+        self._valid.reset()
+        self._tags.reset()
+        self._data.reset()
+        self.hits = 0
+        self.misses = 0
+
+
+class CacheMemory:
+    """The CMEM unit: one instruction cache and one data cache."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        memory: Memory,
+        icache_lines: int = 32,
+        dcache_lines: int = 32,
+        words_per_line: int = 8,
+    ):
+        self.icache = DirectMappedCache(
+            netlist, memory, "icache", "cmem.icache", icache_lines, words_per_line
+        )
+        self.dcache = DirectMappedCache(
+            netlist, memory, "dcache", "cmem.dcache", dcache_lines, words_per_line
+        )
+        self._memory = memory
+
+    # -- instruction side ----------------------------------------------------------------
+
+    def fetch(self, address: int, bus=None) -> int:
+        """Fetch one instruction word through the instruction cache."""
+        return self.icache.read_word(address, bus=bus)
+
+    # -- data side --------------------------------------------------------------------------
+
+    def load(self, address: int, size: int, bus=None) -> int:
+        """Load *size* bytes (1, 2 or 4) through the data cache (unsigned)."""
+        word = self.dcache.read_word(address, bus=bus)
+        offset = address & 0x3
+        if size == 4:
+            return word
+        if size == 2:
+            shift = (2 - offset) * 8 if offset in (0, 2) else 0
+            return (word >> shift) & 0xFFFF
+        shift = (3 - offset) * 8
+        return (word >> shift) & 0xFF
+
+    def store(self, address: int, value: int, size: int) -> None:
+        """Write-through store of *size* bytes (1, 2 or 4)."""
+        if size == 4:
+            self.dcache.write_word(address, value)
+            return
+        # Sub-word store: read-modify-write the containing word.
+        aligned = address & ~0x3
+        current = self._memory.read_word(aligned)
+        offset = address & 0x3
+        if size == 2:
+            shift = (2 - offset) * 8
+            mask = 0xFFFF << shift
+            merged = (current & ~mask) | ((value & 0xFFFF) << shift)
+        else:
+            shift = (3 - offset) * 8
+            mask = 0xFF << shift
+            merged = (current & ~mask) | ((value & 0xFF) << shift)
+        self.dcache.write_word(aligned, merged)
+
+    def invalidate(self) -> None:
+        self.icache.invalidate()
+        self.dcache.invalidate()

@@ -1,0 +1,471 @@
+"""The 7-stage integer unit (IU) of the structural Leon3 model.
+
+The Leon3 integer pipeline has seven stages: fetch (FE), decode (DE),
+register access (RA), execute (EX), memory (ME), exception (XC) and
+write-back (WR).  Every instruction uses all stages — the property the paper
+leans on when it argues that fetch/decode faults affect all instruction types
+equally, while execute-stage faults only affect the instruction types that
+exercise the corresponding sub-unit.
+
+The model is *instruction-driven*: each call to :meth:`step` pushes one
+instruction through all seven stage functions, driving the stage latches and
+the combinational nets of each stage through the netlist so that permanent
+faults (stuck-at-0/1, open line) are applied wherever they were injected.
+Architectural semantics match the ISS functional emulator bit for bit in the
+absence of faults (this is checked by the co-simulation test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.isa.ccodes import evaluate_condition, icc_logic
+from repro.isa.encoding import (
+    OP_ARITH,
+    OP_BRANCH_SETHI,
+    OP_CALL,
+    OP_MEMORY,
+    OP2_BICC,
+    OP2_SETHI,
+    bit,
+    bits,
+    sign_extend,
+    to_u32,
+)
+from repro.isa.instructions import INSTRUCTION_SET, InstructionCategory, InstructionDef
+from repro.isa.registers import RegisterWindowError
+from repro.leon3.alu import Alu
+from repro.leon3.bus import BusMonitor
+from repro.leon3.cache import CacheMemory
+from repro.leon3.psr import ProcessorState
+from repro.leon3.regfile import RegisterFileRtl
+from repro.rtl.netlist import Netlist
+
+#: Addresses at or above this value are memory-mapped I/O (APB space).
+IO_BASE = 0x80000000
+
+UNIT_FETCH = "iu.fetch"
+UNIT_DECODE = "iu.decode"
+UNIT_RA = "iu.regfile"
+UNIT_BRANCH = "iu.branch"
+UNIT_LSU = "iu.lsu"
+UNIT_WB = "iu.wb"
+
+
+class IuTrap(Exception):
+    """A trap raised while an instruction traverses the pipeline."""
+
+    def __init__(self, kind: str, detail: str = ""):
+        super().__init__(f"{kind}: {detail}" if detail else kind)
+        self.kind = kind
+        self.detail = detail
+
+
+@dataclass
+class StepOutcome:
+    """Result of pushing one instruction through the pipeline."""
+
+    mnemonic: str
+    #: Target of a delayed control transfer, ``None`` for sequential flow.
+    transfer_target: Optional[int] = None
+    #: True when the delay-slot instruction must be annulled.
+    annul_delay_slot: bool = False
+    #: Set for the ``ta 0`` exit convention.
+    exit_code: Optional[int] = None
+    #: Latency in cycles charged by the timing annotation.
+    latency: int = 1
+
+
+class IntegerUnit:
+    """Structural 7-stage integer unit."""
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        regfile: RegisterFileRtl,
+        alu: Alu,
+        psr: ProcessorState,
+        cmem: CacheMemory,
+        bus: BusMonitor,
+    ):
+        self._netlist = netlist
+        self._regfile = regfile
+        self._alu = alu
+        self._psr = psr
+        self._cmem = cmem
+        self._bus = bus
+        declare = netlist.declare
+        # Fetch stage
+        declare("iu.fe.pc", 32, UNIT_FETCH)
+        declare("iu.fe.npc", 32, UNIT_FETCH)
+        declare("iu.fe.inst", 32, UNIT_FETCH)
+        # Decode stage
+        declare("iu.de.inst", 32, UNIT_DECODE)
+        declare("iu.de.op", 2, UNIT_DECODE)
+        declare("iu.de.op3", 6, UNIT_DECODE)
+        declare("iu.de.rd", 5, UNIT_DECODE)
+        declare("iu.de.rs1", 5, UNIT_DECODE)
+        declare("iu.de.rs2", 5, UNIT_DECODE)
+        declare("iu.de.imm", 32, UNIT_DECODE)
+        declare("iu.de.use_imm", 1, UNIT_DECODE)
+        declare("iu.de.cond", 4, UNIT_DECODE)
+        # Register-access stage (operand registers)
+        declare("iu.ra.op1", 32, UNIT_RA)
+        declare("iu.ra.op2", 32, UNIT_RA)
+        declare("iu.ra.store_data", 32, UNIT_RA)
+        # Branch unit
+        declare("iu.branch.taken", 1, UNIT_BRANCH)
+        declare("iu.branch.target", 32, UNIT_BRANCH)
+        # Load/store unit
+        declare("iu.lsu.addr", 32, UNIT_LSU)
+        declare("iu.lsu.wdata", 32, UNIT_LSU)
+        declare("iu.lsu.rdata", 32, UNIT_LSU)
+        declare("iu.lsu.size", 4, UNIT_LSU)
+        # Exception / write-back stage
+        declare("iu.xc.trap", 1, UNIT_WB)
+        declare("iu.wb.result", 32, UNIT_WB)
+        declare("iu.wb.rd", 5, UNIT_WB)
+
+    # ------------------------------------------------------------------ pipeline
+
+    def step(self, pc: int, npc: int) -> StepOutcome:
+        """Push the instruction at *pc* through all seven pipeline stages."""
+        word = self._fetch_stage(pc, npc)
+        decoded = self._decode_stage(word)
+        defn: InstructionDef = decoded["defn"]
+        operands = self._register_access_stage(decoded)
+        executed = self._execute_stage(pc, decoded, operands)
+        memory_result = self._memory_stage(decoded, executed)
+        self._exception_stage(executed)
+        self._writeback_stage(decoded, defn, executed, memory_result)
+        return StepOutcome(
+            mnemonic=defn.mnemonic,
+            transfer_target=executed.get("transfer_target"),
+            annul_delay_slot=executed.get("annul_delay_slot", False),
+            exit_code=executed.get("exit_code"),
+            latency=defn.latency,
+        )
+
+    # ------------------------------------------------------------------ FE
+
+    def _fetch_stage(self, pc: int, npc: int) -> int:
+        drive = self._netlist.drive
+        pc = drive("iu.fe.pc", pc)
+        drive("iu.fe.npc", npc)
+        if pc % 4:
+            raise IuTrap("memory", f"misaligned fetch at {pc:#010x}")
+        word = self._cmem.fetch(pc, bus=self._bus)
+        return drive("iu.fe.inst", word)
+
+    # ------------------------------------------------------------------ DE
+
+    def _decode_stage(self, word: int) -> dict:
+        drive = self._netlist.drive
+        word = drive("iu.de.inst", word)
+        op = drive("iu.de.op", bits(word, 31, 30))
+        decoded: dict = {"word": word, "op": op}
+
+        if op == OP_CALL:
+            defn = INSTRUCTION_SET.by_mnemonic("call")
+            decoded.update(
+                defn=defn,
+                rd=drive("iu.de.rd", 15),
+                disp=sign_extend(word, 30) * 4,
+                use_imm=False,
+            )
+            return decoded
+
+        if op == OP_BRANCH_SETHI:
+            op2 = bits(word, 24, 22)
+            if op2 == OP2_SETHI:
+                defn = INSTRUCTION_SET.by_mnemonic("sethi")
+                decoded.update(
+                    defn=defn,
+                    rd=drive("iu.de.rd", bits(word, 29, 25)),
+                    imm=drive("iu.de.imm", bits(word, 21, 0) << 10),
+                    use_imm=True,
+                )
+                return decoded
+            if op2 == OP2_BICC:
+                cond = drive("iu.de.cond", bits(word, 28, 25))
+                try:
+                    defn = INSTRUCTION_SET.by_condition(cond)
+                except KeyError as exc:
+                    raise IuTrap("illegal_instruction", "bad condition") from exc
+                decoded.update(
+                    defn=defn,
+                    cond=cond,
+                    annul=bool(bit(word, 29)),
+                    disp=sign_extend(word, 22) * 4,
+                    use_imm=False,
+                )
+                return decoded
+            raise IuTrap("illegal_instruction", f"op2={op2}")
+
+        op3 = drive("iu.de.op3", bits(word, 24, 19))
+        defn = INSTRUCTION_SET.by_op_op3(op, op3)
+        if defn is None:
+            raise IuTrap("illegal_instruction", f"op={op} op3={op3:#x}")
+        use_imm = bool(drive("iu.de.use_imm", bit(word, 13)))
+        decoded.update(
+            defn=defn,
+            rd=drive("iu.de.rd", bits(word, 29, 25)),
+            rs1=drive("iu.de.rs1", bits(word, 18, 14)),
+            use_imm=use_imm,
+        )
+        if use_imm:
+            decoded["imm"] = drive("iu.de.imm", to_u32(sign_extend(word, 13)))
+        else:
+            decoded["rs2"] = drive("iu.de.rs2", bits(word, 4, 0))
+        return decoded
+
+    # ------------------------------------------------------------------ RA
+
+    def _register_access_stage(self, decoded: dict) -> dict:
+        defn: InstructionDef = decoded["defn"]
+        category = defn.category
+        drive = self._netlist.drive
+        cwp = self._psr.read_cwp()
+        operands: dict = {}
+
+        if defn.mnemonic in ("call", "sethi") or category == InstructionCategory.BRANCH:
+            return operands
+
+        op1 = self._regfile.read_port1(decoded.get("rs1", 0), cwp)
+        operands["op1"] = drive("iu.ra.op1", op1)
+        if decoded.get("use_imm"):
+            op2 = decoded.get("imm", 0)
+        else:
+            op2 = self._regfile.read_port2(decoded.get("rs2", 0), cwp)
+        operands["op2"] = drive("iu.ra.op2", op2)
+        if defn.writes_memory:
+            store_data = self._regfile.read_port2(decoded.get("rd", 0), cwp)
+            operands["store_data"] = drive("iu.ra.store_data", store_data)
+            if defn.access_size == 8:
+                second = self._regfile.read_port2((decoded.get("rd", 0) & ~1) | 1, cwp)
+                operands["store_data2"] = second
+        return operands
+
+    # ------------------------------------------------------------------ EX
+
+    def _execute_stage(self, pc: int, decoded: dict, operands: dict) -> dict:
+        defn: InstructionDef = decoded["defn"]
+        mnemonic = defn.mnemonic
+        category = defn.category
+        drive = self._netlist.drive
+        alu = self._alu
+        psr = self._psr
+        op1 = operands.get("op1", 0)
+        op2 = operands.get("op2", 0)
+        executed: dict = {"result": None, "icc": None}
+
+        if category == InstructionCategory.BRANCH:
+            cond = decoded["cond"]
+            taken = evaluate_condition(cond, psr.read_icc())
+            taken = bool(drive("iu.branch.taken", 1 if taken else 0))
+            target = drive("iu.branch.target", to_u32(pc + decoded["disp"]))
+            always, never = cond == 0x8, cond == 0x0
+            if taken:
+                executed["transfer_target"] = target
+                executed["annul_delay_slot"] = decoded.get("annul", False) and always
+            elif decoded.get("annul", False):
+                executed["annul_delay_slot"] = True
+            return executed
+
+        if mnemonic == "call":
+            target, _ = alu.add(pc, to_u32(decoded["disp"]))
+            target = drive("iu.branch.target", target)
+            executed["transfer_target"] = target
+            executed["result"] = pc
+            return executed
+
+        if mnemonic == "jmpl":
+            target, _ = alu.add(op1, op2)
+            target = drive("iu.branch.target", target)
+            if target % 4:
+                raise IuTrap("memory", f"misaligned jump target {target:#010x}")
+            executed["transfer_target"] = target
+            executed["result"] = pc
+            return executed
+
+        if mnemonic == "sethi":
+            result, _ = alu.logic("mov", 0, decoded.get("imm", 0))
+            executed["result"] = result
+            return executed
+
+        if mnemonic == "ticc":
+            cond = decoded.get("rd", 0) & 0xF
+            trap_number = op2 if decoded.get("use_imm") else op2
+            if evaluate_condition(cond, psr.read_icc()):
+                drive("iu.xc.trap", 1)
+                if trap_number == 0:
+                    cwp = psr.read_cwp()
+                    exit_value = self._regfile.read_port1(8, cwp) & 0xFF
+                    executed["exit_code"] = exit_value
+                else:
+                    raise IuTrap("software_trap", str(trap_number))
+            return executed
+
+        if mnemonic in ("save", "restore"):
+            result, _ = alu.add(op1, op2)
+            if mnemonic == "save":
+                self._regfile.save()
+                new_cwp = (psr.read_cwp() + 1) % psr.nwindows
+            else:
+                self._regfile.restore()
+                new_cwp = (psr.read_cwp() - 1) % psr.nwindows
+            psr.write_cwp(new_cwp)
+            executed["result"] = result
+            executed["window_shift"] = True
+            return executed
+
+        if mnemonic == "rd":
+            executed["result"] = psr.read_y()
+            return executed
+
+        if mnemonic == "wr":
+            psr.write_y(op1 ^ op2)
+            return executed
+
+        if defn.is_memory:
+            address, _ = alu.add(op1, op2)
+            executed["address"] = address
+            executed["store_data"] = operands.get("store_data", 0)
+            executed["store_data2"] = operands.get("store_data2", 0)
+            return executed
+
+        result, icc = self._execute_alu_operation(mnemonic, op1, op2)
+        executed["result"] = result
+        executed["icc"] = icc if defn.sets_icc else None
+        if defn.sets_icc and icc is not None:
+            observed = psr.write_icc(icc)
+            executed["icc"] = observed
+        return executed
+
+    def _execute_alu_operation(self, mnemonic: str, op1: int, op2: int):
+        alu = self._alu
+        psr = self._psr
+        base = mnemonic[:-2] if mnemonic.endswith("cc") else mnemonic
+        carry = psr.read_icc().c
+
+        if base == "add":
+            return alu.add(op1, op2)
+        if base == "addx":
+            return alu.add(op1, op2, carry_in=carry)
+        if base == "sub":
+            return alu.subtract(op1, op2)
+        if base == "subx":
+            return alu.subtract(op1, op2, borrow_in=carry)
+        if base in ("and", "andn", "or", "orn", "xor", "xnor"):
+            return alu.logic(base, op1, op2)
+        if base in ("sll", "srl", "sra"):
+            return alu.shift(base, op1, op2), None
+        if base in ("umul", "smul"):
+            low, high = alu.multiply(op1, op2, signed=base == "smul")
+            psr.write_y(high)
+            return low, icc_logic(low)
+        if base in ("udiv", "sdiv"):
+            quotient = alu.divide(psr.read_y(), op1, op2, signed=base == "sdiv")
+            return quotient, icc_logic(quotient)
+        raise IuTrap("illegal_instruction", f"no semantics for {mnemonic}")
+
+    # ------------------------------------------------------------------ ME
+
+    def _memory_stage(self, decoded: dict, executed: dict) -> Optional[int]:
+        defn: InstructionDef = decoded["defn"]
+        if not defn.is_memory:
+            return None
+        drive = self._netlist.drive
+        address = drive("iu.lsu.addr", executed["address"])
+        size = drive("iu.lsu.size", defn.access_size)
+        if size not in (1, 2, 4, 8):
+            raise IuTrap("memory", f"corrupted access size {size}")
+        if size != 1 and address % min(size, 8):
+            raise IuTrap("memory", f"misaligned access at {address:#010x}")
+        is_io = address >= IO_BASE
+
+        if defn.reads_memory:
+            return self._memory_load(defn, address, size, is_io)
+        self._memory_store(defn, address, size, is_io, executed)
+        return None
+
+    def _memory_load(self, defn: InstructionDef, address: int, size: int, is_io: bool):
+        drive = self._netlist.drive
+        if size == 8:
+            high = self._cmem.load(address, 4, bus=self._bus)
+            low = self._cmem.load(address + 4, 4, bus=self._bus)
+            drive("iu.lsu.rdata", low)
+            return (high, low)
+        if is_io:
+            # I/O reads bypass the cache and are visible off-core.
+            value = 0
+            self._bus.record_io_read(address, size)
+        else:
+            value = self._cmem.load(address, size, bus=self._bus)
+        if defn.sign_extend and size in (1, 2):
+            bits_ = size * 8
+            if value & (1 << (bits_ - 1)):
+                value = to_u32(value - (1 << bits_))
+        return drive("iu.lsu.rdata", value)
+
+    def _memory_store(
+        self, defn: InstructionDef, address: int, size: int, is_io: bool, executed: dict
+    ) -> None:
+        drive = self._netlist.drive
+        if size == 8:
+            high = drive("iu.lsu.wdata", executed["store_data"])
+            self._store_word(address, high, 4, is_io)
+            low = drive("iu.lsu.wdata", executed["store_data2"])
+            self._store_word(address + 4, low, 4, is_io)
+            return
+        value = executed["store_data"]
+        if size == 1:
+            value &= 0xFF
+        elif size == 2:
+            value &= 0xFFFF
+        value = drive("iu.lsu.wdata", value)
+        self._store_word(address, value, size, is_io)
+
+    def _store_word(self, address: int, value: int, size: int, is_io: bool) -> None:
+        if not is_io:
+            self._cmem.store(address, value, size)
+        self._bus.record_store(address, value, size, io=is_io)
+
+    # ------------------------------------------------------------------ XC / WR
+
+    def _exception_stage(self, executed: dict) -> None:
+        if "exit_code" not in executed:
+            self._netlist.drive("iu.xc.trap", 0)
+
+    def _writeback_stage(
+        self,
+        decoded: dict,
+        defn: InstructionDef,
+        executed: dict,
+        memory_result,
+    ) -> None:
+        drive = self._netlist.drive
+        cwp = self._psr.read_cwp()
+        rd = decoded.get("rd", 0)
+
+        if defn.reads_memory:
+            if defn.access_size == 8 and isinstance(memory_result, tuple):
+                high, low = memory_result
+                self._regfile.write(rd & ~1, high, cwp)
+                self._regfile.write((rd & ~1) | 1, low, cwp)
+                return
+            value = drive("iu.wb.result", memory_result)
+            rd = drive("iu.wb.rd", rd)
+            self._regfile.write(rd, value, cwp)
+            return
+
+        result = executed.get("result")
+        if result is None:
+            return
+        if executed.get("window_shift"):
+            # save/restore write their result in the *new* window.
+            cwp = self._psr.read_cwp()
+        value = drive("iu.wb.result", result)
+        rd = drive("iu.wb.rd", rd)
+        self._regfile.write(rd, value, cwp)

@@ -1,0 +1,57 @@
+"""Processor state register (PSR) and Y register of the structural model.
+
+The PSR carries the integer condition codes (icc) and the current window
+pointer (CWP); the Y register holds the upper half of multiply results and the
+upper dividend half for divisions.  All of them are driven through nets so
+that stuck-at/open faults on the state bits propagate into dependent
+instructions (conditional branches, ``addx``/``subx``, multiplies, divides).
+"""
+
+from __future__ import annotations
+
+from repro.isa.ccodes import ConditionCodes
+from repro.rtl.netlist import Netlist
+
+UNIT_PSR = "iu.psr"
+
+
+class ProcessorState:
+    """PSR (icc + CWP) and Y register backed by netlist nets."""
+
+    def __init__(self, netlist: Netlist, nwindows: int = 8):
+        self._netlist = netlist
+        self.nwindows = nwindows
+        netlist.declare("psr.icc", 4, UNIT_PSR)
+        netlist.declare("psr.cwp", 5, UNIT_PSR)
+        netlist.declare("psr.y", 32, UNIT_PSR)
+
+    # -- condition codes -----------------------------------------------------------
+
+    def write_icc(self, icc: ConditionCodes) -> ConditionCodes:
+        """Latch new condition codes; returns the (possibly faulted) codes."""
+        observed = self._netlist.drive("psr.icc", icc.as_bits())
+        return ConditionCodes.from_bits(observed)
+
+    def read_icc(self) -> ConditionCodes:
+        return ConditionCodes.from_bits(self._netlist.sample("psr.icc"))
+
+    # -- current window pointer -------------------------------------------------------
+
+    def write_cwp(self, cwp: int) -> int:
+        return self._netlist.drive("psr.cwp", cwp % self.nwindows)
+
+    def read_cwp(self) -> int:
+        return self._netlist.sample("psr.cwp") % self.nwindows
+
+    # -- Y register -----------------------------------------------------------------------
+
+    def write_y(self, value: int) -> int:
+        return self._netlist.drive("psr.y", value)
+
+    def read_y(self) -> int:
+        return self._netlist.sample("psr.y")
+
+    def reset(self) -> None:
+        self._netlist.drive("psr.icc", 0)
+        self._netlist.drive("psr.cwp", 0)
+        self._netlist.drive("psr.y", 0)

@@ -1,0 +1,92 @@
+"""Structural windowed register file.
+
+The operand registers of the Leon3 IU ("Oper. REGS" in Figure 1a of the
+paper) are modelled as a physical storage array — 8 globals plus
+``nwindows * 16`` window registers — accessed through explicit read/write
+port nets.  Both the storage cells and the port nets are fault-injection
+sites: a stuck bit in a cell corrupts whatever variable the compiler allocated
+there, a stuck bit on an address port makes instructions read/write the wrong
+register.
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import NUM_GLOBALS, WINDOW_REGS, RegisterWindowError
+from repro.rtl.netlist import Netlist
+
+UNIT_REGFILE = "iu.regfile"
+
+
+class RegisterFileRtl:
+    """Windowed register file with port nets and injectable storage cells."""
+
+    def __init__(self, netlist: Netlist, nwindows: int = 8):
+        if nwindows < 2:
+            raise ValueError("at least two register windows are required")
+        self._netlist = netlist
+        self.nwindows = nwindows
+        cells = NUM_GLOBALS + nwindows * WINDOW_REGS
+        self._cells = netlist.declare_array("rf.cells", 32, cells, UNIT_REGFILE)
+        netlist.declare("rf.raddr1", 5, UNIT_REGFILE)
+        netlist.declare("rf.raddr2", 5, UNIT_REGFILE)
+        netlist.declare("rf.rdata1", 32, UNIT_REGFILE)
+        netlist.declare("rf.rdata2", 32, UNIT_REGFILE)
+        netlist.declare("rf.waddr", 5, UNIT_REGFILE)
+        netlist.declare("rf.wdata", 32, UNIT_REGFILE)
+        self._saved_depth = 0
+
+    # -- physical mapping -----------------------------------------------------------
+
+    def _physical_index(self, reg: int, cwp: int) -> int:
+        if reg < NUM_GLOBALS:
+            return reg
+        if 8 <= reg <= 15:  # outs overlap the ins of the next window
+            window = (cwp + 1) % self.nwindows
+            offset = (reg - 8) + 8
+        elif 16 <= reg <= 23:  # locals
+            window = cwp
+            offset = reg - 16
+        else:  # ins
+            window = cwp
+            offset = (reg - 24) + 8
+        return NUM_GLOBALS + window * WINDOW_REGS + offset
+
+    # -- port access --------------------------------------------------------------------
+
+    def read_port1(self, reg: int, cwp: int) -> int:
+        reg = self._netlist.drive("rf.raddr1", reg)
+        value = self._read_cell(reg, cwp)
+        return self._netlist.drive("rf.rdata1", value)
+
+    def read_port2(self, reg: int, cwp: int) -> int:
+        reg = self._netlist.drive("rf.raddr2", reg)
+        value = self._read_cell(reg, cwp)
+        return self._netlist.drive("rf.rdata2", value)
+
+    def write(self, reg: int, value: int, cwp: int) -> None:
+        reg = self._netlist.drive("rf.waddr", reg)
+        value = self._netlist.drive("rf.wdata", value)
+        if reg == 0:
+            return
+        self._cells.write(self._physical_index(reg, cwp), value)
+
+    def _read_cell(self, reg: int, cwp: int) -> int:
+        if reg == 0:
+            return 0
+        return self._cells.read(self._physical_index(reg, cwp))
+
+    # -- window management ----------------------------------------------------------------
+
+    def save(self) -> None:
+        if self._saved_depth >= self.nwindows - 1:
+            raise RegisterWindowError("register window overflow")
+        self._saved_depth += 1
+
+    def restore(self) -> None:
+        if self._saved_depth <= 0:
+            raise RegisterWindowError("register window underflow")
+        self._saved_depth -= 1
+
+    def reset(self) -> None:
+        self._cells.reset()
+        self._saved_depth = 0

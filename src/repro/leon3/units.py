@@ -1,0 +1,53 @@
+"""Mapping between netlist unit paths and architectural functional units.
+
+The structural model tags every net and storage array with a hierarchical
+unit path (``"iu.alu.adder"``, ``"cmem.dcache"``, ...).  The analysis side of
+the framework (diversity, the area-weighted failure model, per-unit campaign
+statistics) works in terms of the :class:`~repro.isa.instructions.FunctionalUnit`
+enumeration.  This module is the single place where the two vocabularies are
+tied together.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.isa.instructions import FunctionalUnit
+
+#: Top-level scope of the integer-unit fault campaigns (Figure 5).
+IU_SCOPE = "iu"
+#: Top-level scope of the cache-memory fault campaigns (Figure 6).
+CMEM_SCOPE = "cmem"
+
+#: Unit-path prefix -> functional unit.
+UNIT_PATHS: Dict[str, FunctionalUnit] = {
+    "iu.fetch": FunctionalUnit.FETCH,
+    "iu.decode": FunctionalUnit.DECODE,
+    "iu.regfile": FunctionalUnit.REGFILE,
+    "iu.alu.adder": FunctionalUnit.ALU_ADDER,
+    "iu.alu.logic": FunctionalUnit.ALU_LOGIC,
+    "iu.alu.shifter": FunctionalUnit.SHIFTER,
+    "iu.alu.multiplier": FunctionalUnit.MULTIPLIER,
+    "iu.alu.divider": FunctionalUnit.DIVIDER,
+    "iu.branch": FunctionalUnit.BRANCH_UNIT,
+    "iu.psr": FunctionalUnit.PSR,
+    "iu.lsu": FunctionalUnit.LSU,
+    "iu.wb": FunctionalUnit.WRITEBACK,
+    "cmem.icache": FunctionalUnit.ICACHE,
+    "cmem.dcache": FunctionalUnit.DCACHE,
+}
+
+
+def functional_unit_for_path(unit_path: str) -> Optional[FunctionalUnit]:
+    """Return the functional unit a unit path belongs to (longest-prefix match)."""
+    best: Tuple[int, Optional[FunctionalUnit]] = (-1, None)
+    for prefix, unit in UNIT_PATHS.items():
+        if unit_path == prefix or unit_path.startswith(prefix + "."):
+            if len(prefix) > best[0]:
+                best = (len(prefix), unit)
+    return best[1]
+
+
+def unit_paths_for(unit: FunctionalUnit) -> Tuple[str, ...]:
+    """All unit-path prefixes mapped to *unit*."""
+    return tuple(path for path, mapped in UNIT_PATHS.items() if mapped is unit)

@@ -1,0 +1,33 @@
+"""RTL-style structural simulation substrate.
+
+The paper injects permanent faults into the VHDL description of the Leon3
+(signals, ports and variables) using simulator commands.  This package
+provides the equivalent capability for the Python reproduction:
+
+* :mod:`repro.rtl.netlist` — named, width-annotated nets organised in a
+  hierarchical netlist, plus storage arrays (register files, cache tag/data
+  arrays) whose individual cells are injectable;
+* :mod:`repro.rtl.faults` — the permanent fault models of the study
+  (stuck-at-0, stuck-at-1, open-line) applied per bit;
+* :mod:`repro.rtl.sites` — enumeration and sampling of fault-injection sites.
+
+A *site* is one bit of one net or one bit of one storage cell; a *fault* is a
+site plus a fault model.  Saboteur application happens inside
+:meth:`Netlist.drive` / :meth:`StorageArray.read`, so a fault only influences
+the simulation when the corresponding hardware structure is exercised — the
+property the paper's diversity argument relies on.
+"""
+
+from repro.rtl.faults import FaultModel, PermanentFault
+from repro.rtl.netlist import Net, Netlist, StorageArray
+from repro.rtl.sites import FaultSite, SiteUniverse
+
+__all__ = [
+    "FaultModel",
+    "PermanentFault",
+    "Net",
+    "Netlist",
+    "StorageArray",
+    "FaultSite",
+    "SiteUniverse",
+]

@@ -1,0 +1,112 @@
+"""Permanent fault models.
+
+The study uses single permanent hardware faults of three kinds, applied to one
+bit of one VHDL signal/port/variable:
+
+* **stuck-at-1** — the bit always reads 1,
+* **stuck-at-0** — the bit always reads 0,
+* **open line**  — the bit is disconnected from its driver.  We model the
+  floating node as retaining the last value that was driven onto it (charge
+  retention), starting from 0; this places its severity between the two
+  stuck-at models, which matches the qualitative RTL behaviour reported in
+  the paper (Figures 5 and 6).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.rtl.sites import FaultSite
+
+
+class FaultModel(enum.Enum):
+    """Permanent fault models used by the RTL campaigns."""
+
+    STUCK_AT_0 = "stuck_at_0"
+    STUCK_AT_1 = "stuck_at_1"
+    OPEN_LINE = "open_line"
+
+    @property
+    def label(self) -> str:
+        """Human-readable label as used in the paper's figures."""
+        return {
+            FaultModel.STUCK_AT_0: "Stuck-at-0",
+            FaultModel.STUCK_AT_1: "Stuck-at-1",
+            FaultModel.OPEN_LINE: "Open line",
+        }[self]
+
+
+ALL_FAULT_MODELS = (FaultModel.STUCK_AT_1, FaultModel.STUCK_AT_0, FaultModel.OPEN_LINE)
+
+
+@dataclass(frozen=True)
+class PermanentFault:
+    """One permanent fault: a site (net/cell bit) plus a fault model."""
+
+    site: FaultSite
+    model: FaultModel
+
+    def active_at(self, cycle: int) -> bool:
+        """Permanent faults are present from power-on until the end of time."""
+        return True
+
+    def apply(self, new_value: int, previous_value: int) -> int:
+        """Return the value observed on the net given the driven *new_value*.
+
+        *previous_value* is the value currently latched on the net/cell and is
+        only used by the open-line model (charge retention).
+        """
+        bit_mask = 1 << self.site.bit
+        if self.model is FaultModel.STUCK_AT_1:
+            return new_value | bit_mask
+        if self.model is FaultModel.STUCK_AT_0:
+            return new_value & ~bit_mask
+        # Open line: the faulted bit keeps its previous value.
+        return (new_value & ~bit_mask) | (previous_value & bit_mask)
+
+    def describe(self) -> str:
+        return f"{self.model.label} @ {self.site.describe()}"
+
+
+@dataclass(frozen=True)
+class TransientFault:
+    """A transient (SEU-like) fault: the bit is disturbed during a cycle window.
+
+    The paper leaves transient faults as future work because the number of
+    injections required for statistical significance is orders of magnitude
+    larger (the effect depends on *when* the fault hits).  The model is
+    provided as an extension so that such studies can be scripted with the
+    same campaign machinery: within ``[start_cycle, end_cycle)`` the bit is
+    flipped relative to the driven value; outside the window the fault has no
+    effect.
+    """
+
+    site: FaultSite
+    start_cycle: int
+    duration: int = 1
+
+    def __post_init__(self):
+        if self.start_cycle < 0 or self.duration < 1:
+            raise ValueError("transient faults need start_cycle >= 0 and duration >= 1")
+
+    @property
+    def end_cycle(self) -> int:
+        return self.start_cycle + self.duration
+
+    @property
+    def model(self) -> FaultModel:
+        """Transients behave as momentary inversions (reported as bit flips)."""
+        return FaultModel.OPEN_LINE  # closest reporting bucket for statistics
+
+    def active_at(self, cycle: int) -> bool:
+        return self.start_cycle <= cycle < self.end_cycle
+
+    def apply(self, new_value: int, previous_value: int) -> int:
+        return new_value ^ (1 << self.site.bit)
+
+    def describe(self) -> str:
+        return (
+            f"Transient flip @ {self.site.describe()} "
+            f"cycles [{self.start_cycle}, {self.end_cycle})"
+        )

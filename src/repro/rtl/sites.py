@@ -1,0 +1,164 @@
+"""Fault-injection sites: enumeration and sampling.
+
+A fault-injection *site* identifies one injectable bit in the design:
+
+* a bit of a named net (``index is None``), or
+* a bit of one cell of a storage array (``index`` is the cell number).
+
+The full Leon3 model exposes on the order of 10^4–10^5 sites; the paper's
+full campaigns injected into *all* available points, which cost ~25 000 CPU
+hours on clusters.  The reproduction therefore supports both exhaustive
+enumeration (for small unit scopes and for counting) and uniform random
+sampling (for the scaled-down campaigns), keeping the estimated failure
+probability unbiased.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """One injectable bit of the design."""
+
+    net: str
+    bit: int
+    unit: str
+    #: Cell index for storage-array sites, ``None`` for plain nets.
+    index: Optional[int] = None
+
+    def describe(self) -> str:
+        location = self.net if self.index is None else f"{self.net}[{self.index}]"
+        return f"{location}.bit{self.bit} ({self.unit})"
+
+
+@dataclass(frozen=True)
+class _SiteGroup:
+    """A homogeneous group of sites (one net or one storage array)."""
+
+    net: str
+    width: int
+    unit: str
+    cells: int = 1
+    is_array: bool = False
+
+    @property
+    def site_count(self) -> int:
+        return self.width * self.cells
+
+    def site_at(self, flat_index: int) -> FaultSite:
+        cell, bit = divmod(flat_index, self.width)
+        index = cell if self.is_array else None
+        return FaultSite(net=self.net, bit=bit, unit=self.unit, index=index)
+
+    def iter_sites(self) -> Iterator[FaultSite]:
+        for flat_index in range(self.site_count):
+            yield self.site_at(flat_index)
+
+
+class SiteUniverse:
+    """The set of all injectable sites of a design, organised by unit.
+
+    Units are hierarchical dotted names (``"iu.alu"``, ``"cmem.dcache"``); a
+    unit filter matches a site when the filter string is a prefix of the
+    site's unit path (``"iu"`` matches ``"iu.alu"``).
+    """
+
+    def __init__(self):
+        self._groups: List[_SiteGroup] = []
+
+    # -- population -------------------------------------------------------------
+
+    def add_net(self, net: str, width: int, unit: str) -> None:
+        self._groups.append(_SiteGroup(net=net, width=width, unit=unit))
+
+    def add_array(self, net: str, width: int, cells: int, unit: str) -> None:
+        self._groups.append(
+            _SiteGroup(net=net, width=width, unit=unit, cells=cells, is_array=True)
+        )
+
+    # -- filtering ----------------------------------------------------------------
+
+    @staticmethod
+    def _matches(unit: str, filters: Optional[Sequence[str]]) -> bool:
+        if not filters:
+            return True
+        return any(unit == f or unit.startswith(f + ".") for f in filters)
+
+    def _filtered_groups(self, units: Optional[Sequence[str]]) -> List[_SiteGroup]:
+        return [group for group in self._groups if self._matches(group.unit, units)]
+
+    # -- queries ---------------------------------------------------------------------
+
+    def units(self) -> Tuple[str, ...]:
+        return tuple(sorted({group.unit for group in self._groups}))
+
+    def count(self, units: Optional[Sequence[str]] = None) -> int:
+        """Number of injectable sites within the given unit scope."""
+        return sum(group.site_count for group in self._filtered_groups(units))
+
+    def count_by_unit(self) -> dict:
+        """Site counts keyed by unit path (used for area-proportional weights)."""
+        counts: dict = {}
+        for group in self._groups:
+            counts[group.unit] = counts.get(group.unit, 0) + group.site_count
+        return counts
+
+    def iter_sites(self, units: Optional[Sequence[str]] = None) -> Iterator[FaultSite]:
+        """Yield every site in the scope (use only for small scopes)."""
+        for group in self._filtered_groups(units):
+            yield from group.iter_sites()
+
+    def sample(
+        self,
+        count: int,
+        units: Optional[Sequence[str]] = None,
+        seed: Optional[int] = None,
+    ) -> List[FaultSite]:
+        """Draw *count* distinct sites uniformly at random from the scope.
+
+        If *count* is greater than or equal to the number of available sites
+        the full population is returned (in deterministic order).
+        """
+        groups = self._filtered_groups(units)
+        total = sum(group.site_count for group in groups)
+        if total == 0:
+            return []
+        if count >= total:
+            sites: List[FaultSite] = []
+            for group in groups:
+                sites.extend(group.iter_sites())
+            return sites
+        rng = random.Random(seed)
+        chosen = rng.sample(range(total), count)
+        # Map flat indices into (group, local index) pairs.
+        boundaries: List[Tuple[int, _SiteGroup]] = []
+        offset = 0
+        for group in groups:
+            boundaries.append((offset, group))
+            offset += group.site_count
+        sites = []
+        for flat in sorted(chosen):
+            group = None
+            base = 0
+            for start, candidate in boundaries:
+                if start <= flat:
+                    group, base = candidate, start
+                else:
+                    break
+            assert group is not None
+            sites.append(group.site_at(flat - base))
+        return sites
+
+    def merge(self, other: "SiteUniverse") -> "SiteUniverse":
+        merged = SiteUniverse()
+        merged._groups = list(self._groups) + list(other._groups)
+        return merged
+
+
+def sites_per_unit(universe: SiteUniverse, top_units: Iterable[str]) -> dict:
+    """Aggregate site counts under each of the given top-level unit prefixes."""
+    return {unit: universe.count([unit]) for unit in top_units}

@@ -1,0 +1,37 @@
+"""Workloads: EEMBC-AutoBench-like kernels and synthetic benchmarks.
+
+The original study uses the EEMBC AutoBench suite (puwmod, canrdr, ttsprk,
+rspeed, a2time, tblook, basefp, bitmnp) plus two synthetic benchmarks
+(membench, intbench).  EEMBC sources are proprietary, so this package provides
+synthetic SPARCv8 assembly kernels with the same *character* — the control and
+data-flow patterns the benchmark names refer to — tuned so that their
+instruction mixes and diversity values land in the bands reported in Table 1
+of the paper (automotive ≈ 45-50 distinct opcodes, synthetic ≈ 18-20).
+
+All workloads are parameterised by an iteration count (so that the ISS can run
+full-size instances while RTL fault-injection campaigns use scaled-down ones)
+and, where relevant, by a dataset selector (used by the input-data-variation
+experiments of Figure 3).
+"""
+
+from repro.workloads.registry import (
+    AUTOMOTIVE_WORKLOADS,
+    EXCERPT_WORKLOADS,
+    SYNTHETIC_WORKLOADS,
+    WorkloadSpec,
+    all_workloads,
+    build_program,
+    get_workload,
+    table1_workloads,
+)
+
+__all__ = [
+    "AUTOMOTIVE_WORKLOADS",
+    "EXCERPT_WORKLOADS",
+    "SYNTHETIC_WORKLOADS",
+    "WorkloadSpec",
+    "all_workloads",
+    "build_program",
+    "get_workload",
+    "table1_workloads",
+]

@@ -1,0 +1,829 @@
+"""EEMBC-AutoBench-like automotive kernels.
+
+Each builder returns an assembled :class:`~repro.isa.assembler.Program` whose
+control and data flow mimic the corresponding AutoBench workload:
+
+* ``puwmod``  — pulse-width modulation: duty-cycle computation and output
+  waveform generation,
+* ``canrdr``  — CAN remote data request: identifier filtering, payload copy
+  and checksumming,
+* ``ttsprk``  — tooth-to-spark: engine-position state machine with spark
+  advance table interpolation,
+* ``rspeed``  — road speed calculation: pulse-period accumulation, division
+  and exponential smoothing,
+* ``a2time``  — angle-to-time conversion with modulo reduction,
+* ``tblook``  — table lookup and linear interpolation,
+* ``basefp``  — fixed-point arithmetic with normalisation (software
+  floating-point stand-in),
+* ``bitmnp``  — bit manipulation: reversal, population count, parity.
+
+The kernels are synthetic reimplementations (EEMBC sources are proprietary)
+written so that their instruction diversity lands in the band reported for
+the automotive benchmarks in Table 1 of the paper (≈ 45-50 distinct opcodes)
+and so that a meaningful stream of results is written to memory — the
+off-core activity used for failure detection.
+
+Every kernel takes ``iterations`` (outer loop count, scaling total work) and
+``dataset`` (selects the deterministic pseudo-random input data).
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Program
+from repro.workloads.builder import (
+    assemble_workload,
+    data_block,
+    lcg_values,
+    reserve_block,
+    standard_epilogue,
+)
+
+#: Number of elements in the primary input arrays of each kernel.
+ARRAY_LEN = 32
+
+
+def _common_library() -> str:
+    """Shared leaf subroutines used by the automotive kernels.
+
+    ``diverse_mix`` exercises the less frequent instruction types (extended
+    arithmetic, double-word memory accesses, the Y register, sign-extending
+    loads) the way library code and compiler-generated sequences do in the
+    real EEMBC binaries; it is what pushes the automotive kernels into the
+    45-50 opcode diversity band while the synthetic benchmarks stay below 20.
+
+    Inputs: ``%o0``, ``%o1`` operands, ``%l2`` output pointer.
+    Clobbers ``%g1``-``%g7``, ``%o4``, ``%o5``.  Returns with ``retl``.
+    """
+    return """
+! --- shared helper: wide instruction mix ------------------------------------
+diverse_mix:
+        addcc   %o0, %o1, %g1          ! extended-precision add
+        addx    %g1, 0, %g2
+        addxcc  %g2, %o1, %g3
+        subcc   %o1, %o0, %g4
+        subx    %g4, 0, %g5
+        subxcc  %g5, 1, %g6
+        andcc   %o0, %o1, %g7
+        andn    %o0, %o1, %g2
+        andncc  %g2, 255, %g2
+        orcc    %o0, %o1, %g3
+        orn     %g3, %o0, %g4
+        orncc   %g4, %o1, %g4
+        xorcc   %o0, %g4, %g5
+        xnor    %g5, %o1, %g6
+        xnorcc  %g6, 0, %g6
+        smul    %o0, 3, %g7
+        smulcc  %g7, 1, %g7
+        umulcc  %o1, 5, %g1
+        wr      %g0, 0, %y
+        or      %o1, 1, %g2
+        udivcc  %g7, %g2, %g3
+        wr      %g0, 0, %y
+        sdiv    %g1, %g2, %g4
+        sdivcc  %g4, %g2, %g4
+        rd      %y, %g5
+        std     %g2, [%l2 + 80]
+        ldd     [%l2 + 80], %g6
+        ldsb    [%l2 + 80], %g1
+        ldsh    [%l2 + 82], %g2
+        bneg    mix_neg
+        nop
+        bpos    mix_join
+        nop
+mix_neg:
+        sub     %g0, %g1, %g1
+mix_join:
+        bvs     mix_ovf
+        nop
+        bvc     mix_done
+        nop
+mix_ovf:
+        or      %g1, 1, %g1
+mix_done:
+        add     %g1, %g2, %o5
+        retl
+        nop
+
+! --- shared helper: saturating accumulate (uses a register window) ----------
+window_accum:
+        save    %sp, -96, %sp
+        addcc   %i0, %i1, %i2
+        bcc     wa_no_sat
+        nop
+        set     4095, %i2
+wa_no_sat:
+        bcs     wa_done
+        nop
+        and     %i2, 4095, %i2
+wa_done:
+        mov     %i2, %i0
+        ret
+        restore %i0, 0, %o0
+"""
+
+
+def _outer_loop_open(iterations: int) -> str:
+    return f"""
+        set     {iterations}, %l5
+outer_loop:
+"""
+
+
+_OUTER_LOOP_CLOSE = """
+        subcc   %l5, 1, %l5
+        bg      outer_loop
+        nop
+"""
+
+
+def _finalise(checksum_register: str = "%o0") -> str:
+    """Store the final checksum and exit."""
+    return f"""
+        st      {checksum_register}, [%l2 + 120]
+{standard_epilogue()}
+"""
+
+
+# ---------------------------------------------------------------------------
+# puwmod — pulse width modulation
+# ---------------------------------------------------------------------------
+
+def build_puwmod(iterations: int = 4, dataset: int = 0) -> Program:
+    """Pulse-width modulation kernel."""
+    duty_requests = lcg_values(ARRAY_LEN, seed=101 + dataset, modulus=1000)
+    periods = lcg_values(ARRAY_LEN, seed=211 + dataset, modulus=255)
+    text = f"""
+        .text
+start:
+        set     duty_req, %l0
+        set     periods, %l1
+        set     outputs, %l2
+        set     filter_tab, %l3
+{_outer_loop_open(iterations)}
+        mov     0, %l6                 ! channel index
+        mov     0, %o3                 ! accumulated duty
+chan_loop:
+        sll     %l6, 2, %g1
+        ld      [%l0 + %g1], %o0       ! requested duty (0..999)
+        ld      [%l1 + %g1], %o1       ! period ticks
+        or      %o1, 1, %o1            ! keep the period non-zero
+        umul    %o0, %o1, %o2          ! scale duty to period
+        wr      %g0, 0, %y
+        set     1000, %g2
+        udiv    %o2, %g2, %o2          ! on-time ticks
+        sub     %o1, %o2, %g3          ! off-time ticks
+        st      %o2, [%l2 + %g1]       ! publish on-time
+        call    diverse_mix
+        nop
+        add     %o3, %o5, %o3
+        ! waveform edge generation for this channel
+        mov     0, %l7
+edge_loop:
+        cmp     %l7, %o2
+        bgeu    edge_low
+        nop
+        or      %g0, 1, %g4            ! high phase
+        ba      edge_store
+        nop
+edge_low:
+        and     %g0, 0, %g4            ! low phase
+edge_store:
+        add     %l7, %l6, %g5
+        and     %g5, 31, %g5
+        sll     %g5, 2, %g5
+        stb     %g4, [%l2 + 64]
+        add     %l7, 8, %l7
+        cmp     %l7, %o1
+        blu     edge_loop
+        nop
+        ! filter the duty request through a small table
+        srl     %o0, 5, %g6
+        and     %g6, 15, %g6
+        sll     %g6, 2, %g6
+        ld      [%l3 + %g6], %g7
+        xor     %g7, %o2, %g7
+        sth     %g7, [%l2 + 68]
+        mov     %o3, %o0
+        mov     %g7, %o1
+        call    window_accum
+        nop
+        mov     %o0, %o3
+        inc     %l6
+        cmp     %l6, {ARRAY_LEN}
+        bl      chan_loop
+        nop
+        st      %o3, [%l2 + 72]
+{_OUTER_LOOP_CLOSE}
+        mov     %o3, %o0
+{_finalise()}
+{_common_library()}
+"""
+    data = "\n".join(
+        [
+            data_block("duty_req", duty_requests),
+            data_block("periods", periods),
+            data_block("filter_tab", lcg_values(16, seed=7, modulus=512)),
+            reserve_block("outputs", 256),
+        ]
+    )
+    return assemble_workload(f"puwmod", text, data)
+
+
+# ---------------------------------------------------------------------------
+# canrdr — CAN remote data request
+# ---------------------------------------------------------------------------
+
+def build_canrdr(iterations: int = 4, dataset: int = 0) -> Program:
+    """CAN remote-data-request kernel: identifier filtering and payload copy."""
+    message_ids = lcg_values(ARRAY_LEN, seed=307 + dataset, modulus=2048)
+    payloads = lcg_values(ARRAY_LEN * 2, seed=401 + dataset, modulus=1 << 16)
+    text = f"""
+        .text
+start:
+        set     msg_ids, %l0
+        set     payloads, %l1
+        set     outputs, %l2
+        set     accept_mask, %l3
+{_outer_loop_open(iterations)}
+        mov     0, %l6                 ! message index
+        mov     0, %o3                 ! accepted count
+        mov     0, %o4                 ! running checksum
+msg_loop:
+        sll     %l6, 2, %g1
+        ld      [%l0 + %g1], %o0       ! message identifier
+        ld      [%l3], %g2             ! acceptance mask
+        and     %o0, %g2, %g3
+        ld      [%l3 + 4], %g4         ! acceptance code
+        cmp     %g3, %g4
+        bne     msg_reject
+        nop
+        ! accepted: copy the 4-byte payload a byte at a time
+        inc     %o3
+        sll     %l6, 3, %g5
+        ldub    [%l1 + %g5], %g6
+        stb     %g6, [%l2 + 64]
+        add     %o4, %g6, %o4
+        add     %g5, 1, %g5
+        ldub    [%l1 + %g5], %g6
+        stb     %g6, [%l2 + 65]
+        add     %o4, %g6, %o4
+        lduh    [%l1 + %g1], %g7
+        sth     %g7, [%l2 + 66]
+        xor     %o4, %g7, %o4
+        call    diverse_mix
+        mov     %g7, %o1
+        add     %o4, %o5, %o4
+        ba      msg_next
+        nop
+msg_reject:
+        ! remote frame: answer with the identifier echoed back
+        xor     %o0, -1, %g5
+        srl     %g5, 3, %g5
+        st      %g5, [%l2 + 68]
+        mov     %o4, %o0
+        mov     %g5, %o1
+        call    window_accum
+        nop
+        mov     %o0, %o4
+msg_next:
+        inc     %l6
+        cmp     %l6, {ARRAY_LEN}
+        bl      msg_loop
+        nop
+        sll     %o3, 16, %g1
+        or      %g1, %o4, %g1
+        st      %g1, [%l2 + 72]
+{_OUTER_LOOP_CLOSE}
+        mov     %o4, %o0
+{_finalise()}
+{_common_library()}
+"""
+    data = "\n".join(
+        [
+            data_block("msg_ids", message_ids),
+            data_block("payloads", payloads),
+            data_block("accept_mask", [0x7F0, message_ids[0] & 0x7F0]),
+            reserve_block("outputs", 256),
+        ]
+    )
+    return assemble_workload("canrdr", text, data)
+
+
+# ---------------------------------------------------------------------------
+# ttsprk — tooth to spark
+# ---------------------------------------------------------------------------
+
+def build_ttsprk(iterations: int = 4, dataset: int = 0) -> Program:
+    """Tooth-to-spark kernel: engine position tracking and spark advance."""
+    tooth_times = lcg_values(ARRAY_LEN, seed=503 + dataset, modulus=4000)
+    advance_table = lcg_values(16, seed=601 + dataset, modulus=60)
+    text = f"""
+        .text
+start:
+        set     tooth_times, %l0
+        set     advance_tab, %l1
+        set     outputs, %l2
+        set     state_var, %l3
+{_outer_loop_open(iterations)}
+        mov     0, %l6                 ! tooth index
+        mov     0, %o3                 ! engine angle accumulator
+        ld      [%l3], %o4             ! state from previous iteration
+tooth_loop:
+        sll     %l6, 2, %g1
+        ld      [%l0 + %g1], %o0       ! tooth period
+        or      %o0, 1, %o0
+        ! state machine: cranking / running / overspeed
+        cmp     %o0, 200
+        bleu    st_overspeed
+        nop
+        cmp     %o0, 3000
+        bgu     st_cranking
+        nop
+        ! running: interpolate spark advance from the table
+        srl     %o0, 8, %g2
+        and     %g2, 15, %g2
+        sll     %g2, 2, %g3
+        ld      [%l1 + %g3], %g4       ! advance[i]
+        add     %g2, 1, %g5
+        and     %g5, 15, %g5
+        sll     %g5, 2, %g5
+        ld      [%l1 + %g5], %g6       ! advance[i+1]
+        sub     %g6, %g4, %g7          ! delta
+        and     %o0, 255, %g5
+        smul    %g7, %g5, %g7
+        sra     %g7, 8, %g7
+        add     %g4, %g7, %g4          ! interpolated advance
+        or      %o4, 2, %o4
+        ba      st_apply
+        nop
+st_overspeed:
+        mov     0, %g4                 ! cut spark
+        or      %o4, 4, %o4
+        ba      st_apply
+        nop
+st_cranking:
+        ld      [%l1], %g4             ! fixed cranking advance
+        andn    %o4, 6, %o4
+st_apply:
+        ! convert advance (degrees) to a delay in timer ticks
+        umul    %g4, %o0, %g5
+        wr      %g0, 0, %y
+        set     360, %g6
+        udiv    %g5, %g6, %g5
+        st      %g5, [%l2 + 64]
+        sth     %g4, [%l2 + 68]
+        add     %o3, %g4, %o3
+        mov     %o0, %o1
+        call    diverse_mix
+        mov     %g5, %o0
+        xor     %o3, %o5, %o3
+        mov     %o3, %o0
+        mov     %g4, %o1
+        call    window_accum
+        nop
+        mov     %o0, %o3
+        inc     %l6
+        cmp     %l6, {ARRAY_LEN}
+        bl      tooth_loop
+        nop
+        st      %o4, [%l3]             ! persist the state machine
+        st      %o3, [%l2 + 72]
+{_OUTER_LOOP_CLOSE}
+        mov     %o3, %o0
+{_finalise()}
+{_common_library()}
+"""
+    data = "\n".join(
+        [
+            data_block("tooth_times", tooth_times),
+            data_block("advance_tab", advance_table),
+            data_block("state_var", [0]),
+            reserve_block("outputs", 256),
+        ]
+    )
+    return assemble_workload("ttsprk", text, data)
+
+
+# ---------------------------------------------------------------------------
+# rspeed — road speed calculation
+# ---------------------------------------------------------------------------
+
+def build_rspeed(iterations: int = 4, dataset: int = 0) -> Program:
+    """Road-speed kernel: pulse period accumulation, division, smoothing."""
+    pulse_periods = lcg_values(ARRAY_LEN, seed=701 + dataset, modulus=5000)
+    text = f"""
+        .text
+start:
+        set     pulse_per, %l0
+        set     speed_tab, %l1
+        set     outputs, %l2
+        set     filt_state, %l3
+{_outer_loop_open(iterations)}
+        mov     0, %l6                 ! pulse index
+        ld      [%l3], %o3             ! filtered speed state
+        mov     0, %o4                 ! distance accumulator
+pulse_loop:
+        sll     %l6, 2, %g1
+        ld      [%l0 + %g1], %o0       ! pulse period (timer ticks)
+        or      %o0, 1, %o0
+        ! raw speed = K / period
+        set     3600, %g2
+        sll     %g2, 4, %g2            ! scale constant
+        wr      %g0, 0, %y
+        udiv    %g2, %o0, %g3          ! raw speed
+        ! exponential smoothing: filt += (raw - filt) >> 3
+        sub     %g3, %o3, %g4
+        sra     %g4, 3, %g4
+        add     %o3, %g4, %o3
+        st      %o3, [%l2 + 64]
+        ! distance += speed (saturating)
+        addcc   %o4, %o3, %o4
+        bcc     rs_no_wrap
+        nop
+        set     65535, %o4
+rs_no_wrap:
+        ! threshold comparisons drive warning outputs
+        cmp     %o3, 180
+        ble     rs_ok
+        nop
+        or      %g0, 1, %g5
+        stb     %g5, [%l2 + 68]
+        ba      rs_cont
+        nop
+rs_ok:
+        stb     %g0, [%l2 + 68]
+rs_cont:
+        ! table-correct the speed for wheel size
+        and     %o3, 15, %g6
+        sll     %g6, 2, %g6
+        ld      [%l1 + %g6], %g7
+        smul    %o3, %g7, %g7
+        sra     %g7, 7, %g7
+        sth     %g7, [%l2 + 70]
+        mov     %o0, %o1
+        call    diverse_mix
+        mov     %g7, %o0
+        xor     %o4, %o5, %o4
+        mov     %o4, %o0
+        mov     %o3, %o1
+        call    window_accum
+        nop
+        mov     %o0, %o4
+        inc     %l6
+        cmp     %l6, {ARRAY_LEN}
+        bl      pulse_loop
+        nop
+        st      %o3, [%l3]
+        st      %o4, [%l2 + 72]
+{_OUTER_LOOP_CLOSE}
+        mov     %o4, %o0
+{_finalise()}
+{_common_library()}
+"""
+    data = "\n".join(
+        [
+            data_block("pulse_per", pulse_periods),
+            data_block("speed_tab", lcg_values(16, seed=801 + dataset, modulus=256)),
+            data_block("filt_state", [0]),
+            reserve_block("outputs", 256),
+        ]
+    )
+    return assemble_workload("rspeed", text, data)
+
+
+# ---------------------------------------------------------------------------
+# a2time — angle to time conversion
+# ---------------------------------------------------------------------------
+
+def build_a2time(iterations: int = 4, dataset: int = 0) -> Program:
+    """Angle-to-time kernel: modulo reduction and period scaling."""
+    angles = lcg_values(ARRAY_LEN, seed=907 + dataset, modulus=720)
+    periods = lcg_values(ARRAY_LEN, seed=911 + dataset, modulus=3000)
+    text = f"""
+        .text
+start:
+        set     angles, %l0
+        set     periods, %l1
+        set     outputs, %l2
+        set     tdc_tab, %l3
+{_outer_loop_open(iterations)}
+        mov     0, %l6
+        mov     0, %o3
+angle_loop:
+        sll     %l6, 2, %g1
+        ld      [%l0 + %g1], %o0       ! crank angle (degrees x2)
+        ld      [%l1 + %g1], %o1       ! rotation period
+        or      %o1, 1, %o1
+        ! reduce the angle modulo 360 by repeated subtraction
+mod_loop:
+        cmp     %o0, 360
+        bl      mod_done
+        nop
+        sub     %o0, 360, %o0
+        ba      mod_loop
+        nop
+mod_done:
+        ! time = angle * period / 360
+        umul    %o0, %o1, %g2
+        wr      %g0, 0, %y
+        set     360, %g3
+        udiv    %g2, %g3, %g4
+        st      %g4, [%l2 + 64]
+        ! pick the closest top-dead-centre from a table
+        srl     %o0, 6, %g5
+        and     %g5, 7, %g5
+        sll     %g5, 2, %g5
+        ld      [%l3 + %g5], %g6
+        sub     %o0, %g6, %g7
+        ! absolute value
+        cmp     %g7, 0
+        bge     abs_done
+        nop
+        sub     %g0, %g7, %g7
+abs_done:
+        sth     %g7, [%l2 + 68]
+        add     %o3, %g4, %o3
+        mov     %o0, %o1
+        call    diverse_mix
+        mov     %g7, %o0
+        add     %o3, %o5, %o3
+        mov     %o3, %o0
+        mov     %g4, %o1
+        call    window_accum
+        nop
+        mov     %o0, %o3
+        inc     %l6
+        cmp     %l6, {ARRAY_LEN}
+        bl      angle_loop
+        nop
+        st      %o3, [%l2 + 72]
+{_OUTER_LOOP_CLOSE}
+        mov     %o3, %o0
+{_finalise()}
+{_common_library()}
+"""
+    data = "\n".join(
+        [
+            data_block("angles", angles),
+            data_block("periods", periods),
+            data_block("tdc_tab", [0, 90, 180, 270, 360, 450, 540, 630]),
+            reserve_block("outputs", 256),
+        ]
+    )
+    return assemble_workload("a2time", text, data)
+
+
+# ---------------------------------------------------------------------------
+# tblook — table lookup and interpolation
+# ---------------------------------------------------------------------------
+
+def build_tblook(iterations: int = 4, dataset: int = 0) -> Program:
+    """Table-lookup kernel: binary search plus linear interpolation."""
+    keys = lcg_values(ARRAY_LEN, seed=1009 + dataset, modulus=1 << 12)
+    table_x = sorted(lcg_values(16, seed=1013, modulus=1 << 12))
+    table_y = lcg_values(16, seed=1019 + dataset, modulus=1 << 10)
+    text = f"""
+        .text
+start:
+        set     keys, %l0
+        set     tab_x, %l1
+        set     outputs, %l2
+        set     tab_y, %l3
+{_outer_loop_open(iterations)}
+        mov     0, %l6
+        mov     0, %o3
+key_loop:
+        sll     %l6, 2, %g1
+        ld      [%l0 + %g1], %o0       ! lookup key
+        ! binary search over 16 entries (4 halving steps)
+        mov     0, %g2                 ! low
+        mov     15, %g3                ! high
+        mov     0, %l7
+bs_loop:
+        add     %g2, %g3, %g4
+        srl     %g4, 1, %g4            ! mid
+        sll     %g4, 2, %g5
+        ld      [%l1 + %g5], %g6       ! tab_x[mid]
+        cmp     %g6, %o0
+        bgu     bs_upper
+        nop
+        mov     %g4, %g2               ! low = mid
+        ba      bs_next
+        nop
+bs_upper:
+        mov     %g4, %g3               ! high = mid
+bs_next:
+        inc     %l7
+        cmp     %l7, 4
+        bl      bs_loop
+        nop
+        ! interpolate between tab_y[low] and tab_y[low+1]
+        sll     %g2, 2, %g5
+        ld      [%l3 + %g5], %o1       ! y0
+        add     %g2, 1, %g6
+        and     %g6, 15, %g6
+        sll     %g6, 2, %g6
+        ld      [%l3 + %g6], %o2       ! y1
+        sub     %o2, %o1, %g7
+        and     %o0, 255, %g6
+        smul    %g7, %g6, %g7
+        sra     %g7, 8, %g7
+        add     %o1, %g7, %g7
+        st      %g7, [%l2 + 64]
+        add     %o3, %g7, %o3
+        mov     %o0, %o1
+        call    diverse_mix
+        mov     %g7, %o0
+        xor     %o3, %o5, %o3
+        mov     %o3, %o0
+        mov     %g7, %o1
+        call    window_accum
+        nop
+        mov     %o0, %o3
+        inc     %l6
+        cmp     %l6, {ARRAY_LEN}
+        bl      key_loop
+        nop
+        st      %o3, [%l2 + 72]
+{_OUTER_LOOP_CLOSE}
+        mov     %o3, %o0
+{_finalise()}
+{_common_library()}
+"""
+    data = "\n".join(
+        [
+            data_block("keys", keys),
+            data_block("tab_x", table_x),
+            data_block("tab_y", table_y),
+            reserve_block("outputs", 256),
+        ]
+    )
+    return assemble_workload("tblook", text, data)
+
+
+# ---------------------------------------------------------------------------
+# basefp — fixed-point arithmetic (software floating point stand-in)
+# ---------------------------------------------------------------------------
+
+def build_basefp(iterations: int = 4, dataset: int = 0) -> Program:
+    """Fixed-point arithmetic kernel with mantissa normalisation."""
+    mantissas = lcg_values(ARRAY_LEN, seed=1103 + dataset, modulus=1 << 15)
+    exponents = lcg_values(ARRAY_LEN, seed=1109 + dataset, modulus=12)
+    text = f"""
+        .text
+start:
+        set     mantissas, %l0
+        set     exponents, %l1
+        set     outputs, %l2
+        set     round_tab, %l3
+{_outer_loop_open(iterations)}
+        mov     0, %l6
+        mov     0, %o3
+fp_loop:
+        sll     %l6, 2, %g1
+        ld      [%l0 + %g1], %o0       ! mantissa a
+        ld      [%l1 + %g1], %o1       ! exponent a
+        ! multiply by a constant operand in Q15
+        set     23170, %g2             ! ~0.707 in Q15
+        smul    %o0, %g2, %g3
+        sra     %g3, 15, %g3
+        ! normalise: shift left until the top bit of the low half is set
+norm_loop:
+        set     16384, %g4
+        andcc   %g3, %g4, %g0
+        bne     norm_done
+        nop
+        cmp     %g3, 0
+        be      norm_done
+        nop
+        sll     %g3, 1, %g3
+        sub     %o1, 1, %o1
+        ba      norm_loop
+        nop
+norm_done:
+        ! round using a small table indexed by the exponent
+        and     %o1, 7, %g5
+        sll     %g5, 2, %g5
+        ld      [%l3 + %g5], %g6
+        add     %g3, %g6, %g3
+        sra     %g3, 1, %g3
+        st      %g3, [%l2 + 64]
+        sth     %o1, [%l2 + 68]
+        add     %o3, %g3, %o3
+        mov     %o1, %o1
+        call    diverse_mix
+        mov     %g3, %o0
+        add     %o3, %o5, %o3
+        mov     %o3, %o0
+        mov     %g3, %o1
+        call    window_accum
+        nop
+        mov     %o0, %o3
+        inc     %l6
+        cmp     %l6, {ARRAY_LEN}
+        bl      fp_loop
+        nop
+        st      %o3, [%l2 + 72]
+{_OUTER_LOOP_CLOSE}
+        mov     %o3, %o0
+{_finalise()}
+{_common_library()}
+"""
+    data = "\n".join(
+        [
+            data_block("mantissas", mantissas),
+            data_block("exponents", exponents),
+            data_block("round_tab", lcg_values(8, seed=1117, modulus=4)),
+            reserve_block("outputs", 256),
+        ]
+    )
+    return assemble_workload("basefp", text, data)
+
+
+# ---------------------------------------------------------------------------
+# bitmnp — bit manipulation
+# ---------------------------------------------------------------------------
+
+def build_bitmnp(iterations: int = 4, dataset: int = 0) -> Program:
+    """Bit-manipulation kernel: reversal, population count and parity."""
+    words = lcg_values(ARRAY_LEN, seed=1201 + dataset, modulus=1 << 16)
+    text = f"""
+        .text
+start:
+        set     in_words, %l0
+        set     nibble_tab, %l1
+        set     outputs, %l2
+        set     parity_tab, %l3
+{_outer_loop_open(iterations)}
+        mov     0, %l6
+        mov     0, %o3
+bit_loop:
+        sll     %l6, 2, %g1
+        ld      [%l0 + %g1], %o0       ! input word
+        ! bit reversal of the low byte via nibble table
+        and     %o0, 15, %g2
+        sll     %g2, 2, %g2
+        ld      [%l1 + %g2], %g3
+        srl     %o0, 4, %g4
+        and     %g4, 15, %g4
+        sll     %g4, 2, %g4
+        ld      [%l1 + %g4], %g5
+        sll     %g3, 4, %g3
+        or      %g3, %g5, %g6          ! reversed byte
+        stb     %g6, [%l2 + 64]
+        ! population count of the low 16 bits
+        mov     0, %g7                 ! popcount
+        mov     %o0, %o1
+        mov     16, %l7
+pop_loop:
+        andcc   %o1, 1, %g0
+        be      pop_zero
+        nop
+        inc     %g7
+pop_zero:
+        srl     %o1, 1, %o1
+        subcc   %l7, 1, %l7
+        bg      pop_loop
+        nop
+        sth     %g7, [%l2 + 66]
+        ! parity via xor folding
+        srl     %o0, 8, %g2
+        xor     %o0, %g2, %g2
+        srl     %g2, 4, %g3
+        xor     %g2, %g3, %g3
+        and     %g3, 15, %g3
+        sll     %g3, 2, %g3
+        ld      [%l3 + %g3], %g4
+        stb     %g4, [%l2 + 68]
+        add     %o3, %g7, %o3
+        xor     %o3, %g6, %o3
+        mov     %o0, %o1
+        call    diverse_mix
+        mov     %g7, %o0
+        add     %o3, %o5, %o3
+        mov     %o3, %o0
+        mov     %g6, %o1
+        call    window_accum
+        nop
+        mov     %o0, %o3
+        inc     %l6
+        cmp     %l6, {ARRAY_LEN}
+        bl      bit_loop
+        nop
+        st      %o3, [%l2 + 72]
+{_OUTER_LOOP_CLOSE}
+        mov     %o3, %o0
+{_finalise()}
+{_common_library()}
+"""
+    nibble_reverse = [int(f"{i:04b}"[::-1], 2) for i in range(16)]
+    parity = [bin(i).count("1") & 1 for i in range(16)]
+    data = "\n".join(
+        [
+            data_block("in_words", words),
+            data_block("nibble_tab", nibble_reverse),
+            data_block("parity_tab", parity),
+            reserve_block("outputs", 256),
+        ]
+    )
+    return assemble_workload("bitmnp", text, data)

@@ -1,0 +1,152 @@
+"""Workload registry: one place to look up and build every workload.
+
+The registry records, for each workload, the builder function, its category
+(automotive / synthetic / excerpt), the default iteration count used for the
+full-size ISS characterisation (Table 1) and a scaled-down iteration count for
+RTL fault-injection campaigns, where each injected fault requires a complete
+re-execution of the workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.isa.assembler import Program
+from repro.workloads import eembc, excerpts, synthetic
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Metadata and builder for one workload."""
+
+    name: str
+    category: str  # "automotive", "synthetic" or "excerpt"
+    builder: Callable[..., Program]
+    description: str
+    #: Iterations used for the full-size ISS characterisation (Table 1).
+    table1_iterations: int = 1
+    #: Iterations used for scaled-down RTL fault-injection campaigns.
+    rtl_iterations: int = 1
+    #: True when the builder accepts a ``dataset`` argument.
+    supports_dataset: bool = True
+
+    def build(
+        self, iterations: Optional[int] = None, dataset: int = 0, full_size: bool = False
+    ) -> Program:
+        """Build the workload program.
+
+        *iterations* overrides the default; otherwise the RTL-scale iteration
+        count is used unless *full_size* is set.
+        """
+        if iterations is None:
+            iterations = self.table1_iterations if full_size else self.rtl_iterations
+        if self.supports_dataset:
+            return self.builder(iterations=iterations, dataset=dataset)
+        return self.builder(iterations=iterations)
+
+
+#: The four automotive workloads characterised in Table 1 plus the other
+#: AutoBench-like kernels used by the excerpt experiments.
+AUTOMOTIVE_WORKLOADS: Dict[str, WorkloadSpec] = {
+    "puwmod": WorkloadSpec(
+        "puwmod", "automotive", eembc.build_puwmod,
+        "Pulse-width modulation", table1_iterations=12, rtl_iterations=1,
+    ),
+    "canrdr": WorkloadSpec(
+        "canrdr", "automotive", eembc.build_canrdr,
+        "CAN remote data request", table1_iterations=94, rtl_iterations=2,
+    ),
+    "ttsprk": WorkloadSpec(
+        "ttsprk", "automotive", eembc.build_ttsprk,
+        "Tooth to spark", table1_iterations=33, rtl_iterations=1,
+    ),
+    "rspeed": WorkloadSpec(
+        "rspeed", "automotive", eembc.build_rspeed,
+        "Road speed calculation", table1_iterations=26, rtl_iterations=1,
+    ),
+    "a2time": WorkloadSpec(
+        "a2time", "automotive", eembc.build_a2time,
+        "Angle to time", table1_iterations=26, rtl_iterations=1,
+    ),
+    "tblook": WorkloadSpec(
+        "tblook", "automotive", eembc.build_tblook,
+        "Table lookup and interpolation", table1_iterations=18, rtl_iterations=1,
+    ),
+    "basefp": WorkloadSpec(
+        "basefp", "automotive", eembc.build_basefp,
+        "Fixed-point (software FP) arithmetic", table1_iterations=25, rtl_iterations=1,
+    ),
+    "bitmnp": WorkloadSpec(
+        "bitmnp", "automotive", eembc.build_bitmnp,
+        "Bit manipulation", table1_iterations=11, rtl_iterations=1,
+    ),
+}
+
+SYNTHETIC_WORKLOADS: Dict[str, WorkloadSpec] = {
+    "membench": WorkloadSpec(
+        "membench", "synthetic", synthetic.build_membench,
+        "Memory-intensive synthetic benchmark", table1_iterations=9, rtl_iterations=1,
+    ),
+    "intbench": WorkloadSpec(
+        "intbench", "synthetic", synthetic.build_intbench,
+        "Integer-intensive synthetic benchmark", table1_iterations=2, rtl_iterations=1,
+    ),
+}
+
+
+def _excerpt_builder(subset: str, member: str) -> Callable[..., Program]:
+    def build(iterations: int = 1, dataset: int = 0) -> Program:
+        # Excerpts are fixed-length initialisation phases: the iteration and
+        # dataset knobs are not applicable (the member selects the dataset).
+        if subset == "a":
+            return excerpts.build_subset_a(member)
+        return excerpts.build_subset_b(member)
+
+    return build
+
+
+EXCERPT_WORKLOADS: Dict[str, WorkloadSpec] = {}
+for _member in excerpts.SUBSET_A_MEMBERS:
+    EXCERPT_WORKLOADS[f"excerpt_{_member}"] = WorkloadSpec(
+        f"excerpt_{_member}", "excerpt", _excerpt_builder("a", _member),
+        f"Initialisation excerpt of {_member} (subset A, 8 instruction types)",
+    )
+for _member in excerpts.SUBSET_B_MEMBERS:
+    EXCERPT_WORKLOADS[f"excerpt_{_member}"] = WorkloadSpec(
+        f"excerpt_{_member}", "excerpt", _excerpt_builder("b", _member),
+        f"Initialisation excerpt of {_member} (subset B, 11 instruction types)",
+    )
+
+
+def all_workloads() -> Dict[str, WorkloadSpec]:
+    """Every registered workload (automotive + synthetic + excerpts)."""
+    combined: Dict[str, WorkloadSpec] = {}
+    combined.update(AUTOMOTIVE_WORKLOADS)
+    combined.update(SYNTHETIC_WORKLOADS)
+    combined.update(EXCERPT_WORKLOADS)
+    return combined
+
+
+def table1_workloads() -> Dict[str, WorkloadSpec]:
+    """The six workloads characterised in Table 1 of the paper."""
+    names = ("puwmod", "canrdr", "ttsprk", "rspeed", "membench", "intbench")
+    registry = all_workloads()
+    return {name: registry[name] for name in names}
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up a workload by name (raises ``KeyError`` for unknown names)."""
+    return all_workloads()[name]
+
+
+def build_program(
+    name: str,
+    iterations: Optional[int] = None,
+    dataset: int = 0,
+    full_size: bool = False,
+) -> Program:
+    """Build the program for workload *name*."""
+    return get_workload(name).build(
+        iterations=iterations, dataset=dataset, full_size=full_size
+    )

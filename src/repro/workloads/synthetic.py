@@ -1,0 +1,147 @@
+"""Synthetic benchmarks: membench and intbench.
+
+The paper complements the EEMBC AutoBench workloads with two synthetic
+benchmarks "designed to use intensively memory instructions or integer
+instructions, and provide additional diversity values" (Table 1: diversity 18
+and 20, versus 47-48 for the automotive workloads).  They are the low-diversity
+points that anchor the correlation of Figure 7.
+
+* ``membench`` — streams over buffers: block copy, strided gather/sum and a
+  byte-wise checksum.  Memory instructions dominate; only a small set of
+  opcode types is used.
+* ``intbench`` — a register-resident integer mix (add/sub/logical/shift/
+  multiply) with almost no memory traffic beyond the final result stores.
+"""
+
+from __future__ import annotations
+
+from repro.isa.assembler import Program
+from repro.workloads.builder import (
+    assemble_workload,
+    data_block,
+    lcg_values,
+    reserve_block,
+    standard_epilogue,
+)
+
+#: Number of words in the membench working buffers.
+MEM_BUFFER_WORDS = 64
+
+
+def build_membench(iterations: int = 4, dataset: int = 0) -> Program:
+    """Memory-intensive synthetic benchmark (low instruction diversity)."""
+    source_words = lcg_values(MEM_BUFFER_WORDS, seed=1301 + dataset, modulus=1 << 16)
+    text = f"""
+        .text
+start:
+        set     src_buf, %l0
+        set     dst_buf, %l1
+        set     out_buf, %l2
+        set     {iterations}, %l5
+outer_loop:
+        ! phase 1: word-by-word block copy
+        mov     0, %l6
+copy_loop:
+        sll     %l6, 2, %g1
+        ld      [%l0 + %g1], %g2
+        st      %g2, [%l1 + %g1]
+        inc     %l6
+        cmp     %l6, {MEM_BUFFER_WORDS}
+        bl      copy_loop
+        nop
+        ! phase 2: strided halfword gather and sum
+        mov     0, %l6
+        mov     0, %o0
+gather_loop:
+        sll     %l6, 3, %g1
+        lduh    [%l1 + %g1], %g3
+        add     %o0, %g3, %o0
+        inc     %l6
+        cmp     %l6, {MEM_BUFFER_WORDS // 2}
+        bl      gather_loop
+        nop
+        st      %o0, [%l2]
+        ! phase 3: byte-wise checksum with byte stores
+        mov     0, %l6
+        mov     0, %o1
+byte_loop:
+        ldub    [%l0 + %l6], %g4
+        ldsb    [%l1 + %l6], %g5
+        xor     %o1, %g4, %o1
+        and     %o1, 255, %o1
+        add     %o1, %g5, %o1
+        srl     %o1, 1, %o1
+        stb     %o1, [%l2 + 4]
+        inc     %l6
+        cmp     %l6, 128
+        bl      byte_loop
+        nop
+        sth     %o1, [%l2 + 8]
+        ba      phase_end
+        nop
+phase_end:
+        subcc   %l5, 1, %l5
+        bg      outer_loop
+        nop
+        st      %o0, [%l2 + 12]
+{standard_epilogue()}
+"""
+    data = "\n".join(
+        [
+            data_block("src_buf", source_words),
+            reserve_block("dst_buf", MEM_BUFFER_WORDS * 4),
+            reserve_block("out_buf", 64),
+        ]
+    )
+    return assemble_workload("membench", text, data)
+
+
+def build_intbench(iterations: int = 4, dataset: int = 0) -> Program:
+    """Integer-intensive synthetic benchmark (low instruction diversity)."""
+    seeds = lcg_values(4, seed=1409 + dataset, modulus=1 << 16)
+    text = f"""
+        .text
+start:
+        set     seeds, %l0
+        set     out_buf, %l2
+        ld      [%l0], %o0
+        ld      [%l0 + 4], %o1
+        ld      [%l0 + 8], %o2
+        set     {iterations}, %l5
+outer_loop:
+        set     64, %l6
+int_loop:
+        add     %o0, %o1, %g1
+        sub     %g1, %o2, %g2
+        and     %g1, %g2, %g3
+        andn    %g3, 15, %g3
+        xor     %g3, %o0, %g4
+        orcc    %g4, 1, %g4
+        bne     int_mix
+        nop
+int_mix:
+        sll     %g4, 3, %g5
+        srl     %g4, 5, %g6
+        or      %g5, %g6, %g7
+        umul    %g7, 3, %o3
+        smul    %g7, 5, %o4
+        xor     %o3, %o4, %o3
+        addcc   %o3, %g1, %o0
+        sra     %o0, 1, %o1
+        subcc   %l6, 1, %l6
+        bg      int_loop
+        nop
+        st      %o0, [%l2]
+        subcc   %l5, 1, %l5
+        bg      outer_loop
+        nop
+        st      %o1, [%l2 + 4]
+{standard_epilogue()}
+"""
+    data = "\n".join(
+        [
+            data_block("seeds", seeds),
+            reserve_block("out_buf", 32),
+        ]
+    )
+    return assemble_workload("intbench", text, data)

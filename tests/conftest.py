@@ -1,0 +1,78 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.iss.emulator import Emulator
+from repro.iss.memory import Memory
+from repro.leon3.core import Leon3Core
+
+
+#: A small but representative program: data loads, arithmetic, a loop with a
+#: conditional branch, shifts, a store-back of every result and a clean exit.
+SMALL_PROGRAM_SOURCE = """
+        .text
+start:
+        set     data_in, %l0
+        set     data_out, %l1
+        ld      [%l0], %o0
+        ld      [%l0 + 4], %o1
+        add     %o0, %o1, %o2
+        st      %o2, [%l1]
+        umul    %o0, %o1, %o3
+        st      %o3, [%l1 + 4]
+        mov     0, %l2
+        mov     0, %l3
+loop:
+        add     %l3, %l2, %l3
+        inc     %l2
+        cmp     %l2, 10
+        bl      loop
+        nop
+        st      %l3, [%l1 + 8]
+        sll     %o0, 3, %o4
+        srl     %o1, 1, %o5
+        xor     %o4, %o5, %o4
+        st      %o4, [%l1 + 12]
+        ta      0
+
+        .data
+data_in:
+        .word   7, 5
+data_out:
+        .space  32
+"""
+
+
+@pytest.fixture
+def small_program():
+    """The assembled small reference program."""
+    return assemble(SMALL_PROGRAM_SOURCE, name="small")
+
+
+@pytest.fixture
+def emulator():
+    """A fresh ISS emulator with its own memory."""
+    return Emulator(memory=Memory())
+
+
+@pytest.fixture
+def rtl_core():
+    """A fresh structural Leon3 core."""
+    return Leon3Core()
+
+
+def run_asm(source: str, max_instructions: int = 100_000):
+    """Assemble and run *source* on the ISS, returning the execution result."""
+    program = assemble(source, name="test")
+    emulator = Emulator(memory=Memory())
+    emulator.load_program(program)
+    return emulator.run(max_instructions=max_instructions), emulator
+
+
+@pytest.fixture
+def run_assembly():
+    """Fixture-wrapped :func:`run_asm` helper."""
+    return run_asm

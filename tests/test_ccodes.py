@@ -1,0 +1,108 @@
+"""Tests for the integer condition-code helpers."""
+
+import pytest
+
+from repro.isa.ccodes import (
+    ConditionCodes,
+    evaluate_condition,
+    icc_add,
+    icc_logic,
+    icc_sub,
+)
+from repro.isa.instructions import BRANCH_CONDITIONS
+
+
+class TestConditionCodeComputation:
+    def test_logic_zero_sets_z(self):
+        icc = icc_logic(0)
+        assert (icc.n, icc.z, icc.v, icc.c) == (0, 1, 0, 0)
+
+    def test_logic_negative_sets_n(self):
+        icc = icc_logic(0x80000000)
+        assert icc.n == 1 and icc.z == 0
+
+    def test_add_carry_out(self):
+        icc = icc_add(0xFFFFFFFF, 1, (0xFFFFFFFF + 1) & 0xFFFFFFFF)
+        assert icc.c == 1 and icc.z == 1
+
+    def test_add_signed_overflow(self):
+        result = (0x7FFFFFFF + 1) & 0xFFFFFFFF
+        icc = icc_add(0x7FFFFFFF, 1, result)
+        assert icc.v == 1 and icc.n == 1
+
+    def test_add_no_overflow_mixed_signs(self):
+        result = (0x7FFFFFFF + 0xFFFFFFFF) & 0xFFFFFFFF
+        icc = icc_add(0x7FFFFFFF, 0xFFFFFFFF, result)
+        assert icc.v == 0
+
+    def test_sub_borrow(self):
+        result = (3 - 5) & 0xFFFFFFFF
+        icc = icc_sub(3, 5, result)
+        assert icc.c == 1 and icc.n == 1
+
+    def test_sub_zero(self):
+        icc = icc_sub(9, 9, 0)
+        assert icc.z == 1 and icc.c == 0
+
+    def test_sub_signed_overflow(self):
+        result = (0x80000000 - 1) & 0xFFFFFFFF
+        icc = icc_sub(0x80000000, 1, result)
+        assert icc.v == 1
+
+    def test_add_with_carry_in(self):
+        result = (0xFFFFFFFF + 0 + 1) & 0xFFFFFFFF
+        icc = icc_add(0xFFFFFFFF, 0, result, carry_in=1)
+        assert icc.c == 1
+
+    def test_pack_unpack_roundtrip(self):
+        icc = ConditionCodes(n=1, z=0, v=1, c=0)
+        assert ConditionCodes.from_bits(icc.as_bits()) == icc
+
+
+class TestConditionEvaluation:
+    def test_ba_always_and_bn_never(self):
+        icc = ConditionCodes()
+        assert evaluate_condition(BRANCH_CONDITIONS["ba"], icc)
+        assert not evaluate_condition(BRANCH_CONDITIONS["bn"], icc)
+
+    def test_be_and_bne(self):
+        zero = ConditionCodes(z=1)
+        nonzero = ConditionCodes(z=0)
+        assert evaluate_condition(BRANCH_CONDITIONS["be"], zero)
+        assert not evaluate_condition(BRANCH_CONDITIONS["be"], nonzero)
+        assert evaluate_condition(BRANCH_CONDITIONS["bne"], nonzero)
+
+    def test_signed_comparisons(self):
+        # 3 - 5: n=1, v=0 -> "less than" true
+        less = ConditionCodes(n=1, v=0)
+        assert evaluate_condition(BRANCH_CONDITIONS["bl"], less)
+        assert not evaluate_condition(BRANCH_CONDITIONS["bge"], less)
+        assert evaluate_condition(BRANCH_CONDITIONS["ble"], less)
+        assert not evaluate_condition(BRANCH_CONDITIONS["bg"], less)
+
+    def test_signed_comparison_with_overflow(self):
+        # When V is set the sign flag is inverted for signed comparisons.
+        overflowed = ConditionCodes(n=0, v=1)
+        assert evaluate_condition(BRANCH_CONDITIONS["bl"], overflowed)
+
+    def test_unsigned_comparisons(self):
+        borrow = ConditionCodes(c=1)
+        assert evaluate_condition(BRANCH_CONDITIONS["blu" if "blu" in BRANCH_CONDITIONS else "bcs"], borrow)
+        assert evaluate_condition(BRANCH_CONDITIONS["bleu"], borrow)
+        assert not evaluate_condition(BRANCH_CONDITIONS["bgu"], borrow)
+        assert not evaluate_condition(BRANCH_CONDITIONS["bcc"], borrow)
+
+    def test_bgu_requires_no_carry_and_no_zero(self):
+        assert evaluate_condition(BRANCH_CONDITIONS["bgu"], ConditionCodes())
+        assert not evaluate_condition(BRANCH_CONDITIONS["bgu"], ConditionCodes(z=1))
+
+    def test_negative_and_overflow_conditions(self):
+        assert evaluate_condition(BRANCH_CONDITIONS["bneg"], ConditionCodes(n=1))
+        assert evaluate_condition(BRANCH_CONDITIONS["bpos"], ConditionCodes(n=0))
+        assert evaluate_condition(BRANCH_CONDITIONS["bvs"], ConditionCodes(v=1))
+        assert evaluate_condition(BRANCH_CONDITIONS["bvc"], ConditionCodes(v=0))
+
+    @pytest.mark.parametrize("mnemonic,cond", sorted(BRANCH_CONDITIONS.items()))
+    def test_opposite_conditions_are_complementary(self, mnemonic, cond):
+        icc = ConditionCodes(n=1, z=0, v=1, c=0)
+        assert evaluate_condition(cond, icc) != evaluate_condition(cond ^ 0x8, icc)

@@ -1,0 +1,111 @@
+"""Tests for the binary instruction decoder."""
+
+import pytest
+
+from repro.isa import encoding
+from repro.isa.decoder import DecodeError, decode
+from repro.isa.instructions import InstructionCategory
+
+
+def _fmt3_reg(op, op3, rd, rs1, rs2):
+    return encoding.Format3Reg(op=op, op3=op3, rd=rd, rs1=rs1, rs2=rs2).encode()
+
+
+def _fmt3_imm(op, op3, rd, rs1, imm):
+    return encoding.Format3Imm(op=op, op3=op3, rd=rd, rs1=rs1, simm13=imm).encode()
+
+
+class TestFormat3Decoding:
+    def test_add_register_form(self):
+        inst = decode(_fmt3_reg(2, 0x00, 3, 1, 2))
+        assert inst.mnemonic == "add"
+        assert (inst.rd, inst.rs1, inst.rs2) == (3, 1, 2)
+        assert not inst.uses_immediate
+
+    def test_add_immediate_form(self):
+        inst = decode(_fmt3_imm(2, 0x00, 3, 1, -7))
+        assert inst.uses_immediate
+        assert inst.imm == -7
+
+    def test_load_word(self):
+        inst = decode(_fmt3_imm(3, 0x00, 8, 9, 16))
+        assert inst.mnemonic == "ld"
+        assert inst.defn.reads_memory
+
+    def test_store_word(self):
+        inst = decode(_fmt3_imm(3, 0x04, 8, 9, 16))
+        assert inst.mnemonic == "st"
+        assert inst.defn.writes_memory
+
+    def test_unsupported_op3_raises(self):
+        with pytest.raises(DecodeError):
+            decode(_fmt3_reg(2, 0x2F, 0, 0, 0))
+
+    def test_unsupported_memory_op3_raises(self):
+        with pytest.raises(DecodeError):
+            decode(_fmt3_reg(3, 0x3F, 0, 0, 0))
+
+
+class TestFormat2Decoding:
+    def test_sethi(self):
+        word = encoding.Format2Sethi(rd=4, imm22=0x12345).encode()
+        inst = decode(word)
+        assert inst.mnemonic == "sethi"
+        assert inst.rd == 4
+        assert inst.imm == 0x12345
+
+    def test_branch_displacement_scaled_to_bytes(self):
+        word = encoding.Format2Branch(cond=0x9, disp22=5).encode()
+        inst = decode(word)
+        assert inst.mnemonic == "bne"
+        assert inst.disp == 20
+
+    def test_branch_negative_displacement(self):
+        word = encoding.Format2Branch(cond=0x8, disp22=-3).encode()
+        inst = decode(word)
+        assert inst.mnemonic == "ba"
+        assert inst.disp == -12
+
+    def test_branch_annul_flag(self):
+        word = encoding.Format2Branch(cond=0x8, disp22=1, annul=True).encode()
+        assert decode(word).annul is True
+
+    def test_unimp_format2_raises(self):
+        # op=0, op2=0 (UNIMP) is not part of the supported subset.
+        with pytest.raises(DecodeError):
+            decode(0)
+
+
+class TestCallDecoding:
+    def test_call_positive(self):
+        word = encoding.Format1(disp30=0x40).encode()
+        inst = decode(word)
+        assert inst.mnemonic == "call"
+        assert inst.disp == 0x100
+        assert inst.rd == 15
+
+    def test_call_negative(self):
+        word = encoding.Format1(disp30=-2).encode()
+        assert decode(word).disp == -8
+
+
+class TestInstructionObject:
+    def test_operand_registers_register_form(self):
+        inst = decode(_fmt3_reg(2, 0x00, 3, 1, 2))
+        assert set(inst.operand_registers()) == {1, 2}
+
+    def test_operand_registers_store_includes_rd(self):
+        inst = decode(_fmt3_imm(3, 0x04, 8, 9, 0))
+        assert 8 in inst.operand_registers()
+
+    def test_operand_registers_branch_is_empty(self):
+        word = encoding.Format2Branch(cond=0x9, disp22=1).encode()
+        assert decode(word).operand_registers() == ()
+
+    def test_category_propagated_from_table(self):
+        inst = decode(_fmt3_reg(2, 0x0A, 1, 2, 3))
+        assert inst.defn.category is InstructionCategory.MULTIPLY
+
+    def test_word_is_preserved(self):
+        word = _fmt3_reg(2, 0x00, 3, 1, 2)
+        assert decode(word).word == word

@@ -1,0 +1,228 @@
+"""ISS functional emulator: ALU, shift, multiply and divide semantics.
+
+Each test assembles a tiny program that computes one operation and stores the
+result, then checks the value observed at the off-core boundary.
+"""
+
+from conftest import run_asm
+
+
+def _alu_result(setup: str, operation: str) -> int:
+    """Run `setup`, apply `operation` into %o2 and return the stored result."""
+    source = f"""
+        .text
+        set     out, %l1
+{setup}
+{operation}
+        st      %o2, [%l1]
+        ta      0
+        .data
+out:
+        .space  8
+"""
+    result, _ = run_asm(source)
+    assert result.normal_exit
+    return result.transactions[-1].value
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert _alu_result("        mov 7, %o0\n        mov 5, %o1",
+                           "        add %o0, %o1, %o2") == 12
+
+    def test_add_wraps_modulo_32_bits(self):
+        setup = "        set 0xFFFFFFFF, %o0\n        mov 2, %o1"
+        assert _alu_result(setup, "        add %o0, %o1, %o2") == 1
+
+    def test_sub(self):
+        assert _alu_result("        mov 7, %o0\n        mov 5, %o1",
+                           "        sub %o0, %o1, %o2") == 2
+
+    def test_sub_negative_result(self):
+        assert _alu_result("        mov 5, %o0\n        mov 7, %o1",
+                           "        sub %o0, %o1, %o2") == 0xFFFFFFFE
+
+    def test_addx_consumes_carry(self):
+        setup = "        set 0xFFFFFFFF, %o0\n        mov 1, %o1"
+        operation = """
+        addcc   %o0, %o1, %g1          ! produces carry
+        mov     0, %o0
+        mov     0, %o1
+        addx    %o0, %o1, %o2          ! 0 + 0 + carry
+"""
+        assert _alu_result(setup, operation) == 1
+
+    def test_subx_consumes_borrow(self):
+        setup = "        mov 3, %o0\n        mov 5, %o1"
+        operation = """
+        subcc   %o0, %o1, %g1          ! produces borrow (carry set)
+        mov     10, %o0
+        mov     2, %o1
+        subx    %o0, %o1, %o2          ! 10 - 2 - 1
+"""
+        assert _alu_result(setup, operation) == 7
+
+    def test_immediate_operand_sign_extended(self):
+        assert _alu_result("        mov 10, %o0",
+                           "        add %o0, -3, %o2") == 7
+
+
+class TestLogical:
+    def test_and_or_xor(self):
+        setup = "        set 0xF0F0, %o0\n        set 0x0FF0, %o1"
+        assert _alu_result(setup, "        and %o0, %o1, %o2") == 0x00F0
+        assert _alu_result(setup, "        or %o0, %o1, %o2") == 0xFFF0
+        assert _alu_result(setup, "        xor %o0, %o1, %o2") == 0xFF00
+
+    def test_andn_orn_xnor(self):
+        setup = "        set 0xFF00, %o0\n        set 0x0F0F, %o1"
+        assert _alu_result(setup, "        andn %o0, %o1, %o2") == 0xF000
+        assert _alu_result(setup, "        orn %o0, %o1, %o2") == 0xFFFFFFF0 | 0xF00
+        assert _alu_result(setup, "        xnor %o0, %o1, %o2") == (~(0xFF00 ^ 0x0F0F)) & 0xFFFFFFFF
+
+    def test_sethi_loads_upper_22_bits(self):
+        source = """
+        .text
+        set     out, %l1
+        sethi   %hi(0xABCDE000), %o2
+        st      %o2, [%l1]
+        ta      0
+        .data
+out:
+        .space  4
+"""
+        result, _ = run_asm(source)
+        assert result.transactions[-1].value == 0xABCDE000
+
+
+class TestShifts:
+    def test_sll(self):
+        assert _alu_result("        mov 1, %o0", "        sll %o0, 5, %o2") == 32
+
+    def test_sll_uses_low_five_bits_of_count(self):
+        assert _alu_result("        mov 1, %o0\n        mov 33, %o1",
+                           "        sll %o0, %o1, %o2") == 2
+
+    def test_srl_is_logical(self):
+        assert _alu_result("        set 0x80000000, %o0",
+                           "        srl %o0, 31, %o2") == 1
+
+    def test_sra_is_arithmetic(self):
+        assert _alu_result("        set 0x80000000, %o0",
+                           "        sra %o0, 31, %o2") == 0xFFFFFFFF
+
+
+class TestMultiplyDivide:
+    def test_umul_low_result(self):
+        assert _alu_result("        mov 7, %o0\n        mov 6, %o1",
+                           "        umul %o0, %o1, %o2") == 42
+
+    def test_umul_high_half_goes_to_y(self):
+        setup = "        set 0x10000, %o0\n        set 0x10000, %o1"
+        operation = """
+        umul    %o0, %o1, %g1
+        rd      %y, %o2
+"""
+        assert _alu_result(setup, operation) == 1
+
+    def test_smul_signed(self):
+        setup = "        mov 5, %o0\n        sub %g0, 3, %o1"
+        assert _alu_result(setup, "        smul %o0, %o1, %o2") == (-15) & 0xFFFFFFFF
+
+    def test_udiv_uses_y_as_high_dividend(self):
+        operation = """
+        mov     1, %g1
+        mov     %g1, %y
+        mov     0, %o0
+        mov     16, %o1
+        udiv    %o0, %o1, %o2          ! (1 << 32) / 16
+"""
+        assert _alu_result("        nop", operation) == 0x10000000
+
+    def test_udiv_simple(self):
+        operation = """
+        wr      %g0, 0, %y
+        udiv    %o0, %o1, %o2
+"""
+        assert _alu_result("        mov 42, %o0\n        mov 6, %o1", operation) == 7
+
+    def test_sdiv_signed_quotient(self):
+        operation = """
+        wr      %g0, 0, %y
+        sub     %g0, 9, %o0            ! -9... but dividend uses Y:o0, keep positive
+        mov     9, %o0
+        mov     3, %o1
+        sdiv    %o0, %o1, %o2
+"""
+        assert _alu_result("        nop", operation) == 3
+
+    def test_division_by_zero_traps(self):
+        source = """
+        .text
+        wr      %g0, 0, %y
+        mov     5, %o0
+        mov     0, %o1
+        udiv    %o0, %o1, %o2
+        ta      0
+"""
+        result, _ = run_asm(source)
+        assert result.halted
+        assert result.trap.kind == "division_by_zero"
+
+
+class TestConditionCodeInstructions:
+    def test_addcc_sets_zero_flag_visible_to_branch(self):
+        source = """
+        .text
+        set     out, %l1
+        mov     0, %o0
+        addcc   %o0, 0, %g0
+        be      was_zero
+        nop
+        mov     0, %o2
+        ba      done
+        nop
+was_zero:
+        mov     1, %o2
+done:
+        st      %o2, [%l1]
+        ta      0
+        .data
+out:
+        .space  4
+"""
+        result, _ = run_asm(source)
+        assert result.transactions[-1].value == 1
+
+    def test_plain_add_does_not_touch_flags(self):
+        source = """
+        .text
+        set     out, %l1
+        mov     1, %o0
+        subcc   %o0, 1, %g0            ! Z = 1
+        add     %o0, 5, %o1            ! must not clear Z
+        be      still_zero
+        nop
+        mov     0, %o2
+        ba      done
+        nop
+still_zero:
+        mov     1, %o2
+done:
+        st      %o2, [%l1]
+        ta      0
+        .data
+out:
+        .space  4
+"""
+        result, _ = run_asm(source)
+        assert result.transactions[-1].value == 1
+
+    def test_wr_y_xor_semantics(self):
+        # wr rs1, imm, %y writes rs1 XOR imm.
+        operation = """
+        mov     12, %g1
+        wr      %g1, 5, %y
+        rd      %y, %o2
+"""
+        assert _alu_result("        nop", operation) == 12 ^ 5

@@ -1,0 +1,257 @@
+"""ISS functional emulator: control transfer, delay slots, windows, traps."""
+
+from conftest import run_asm
+
+
+def _program(body: str) -> str:
+    return f"""
+        .text
+        set     out, %l1
+{body}
+        ta      0
+        .data
+out:
+        .space  64
+"""
+
+
+class TestBranches:
+    def test_taken_branch_executes_delay_slot(self):
+        source = _program("""
+        mov     0, %o0
+        ba      target
+        mov     1, %o0                 ! delay slot must execute
+        mov     2, %o0                 ! skipped
+target:
+        st      %o0, [%l1]
+""")
+        result, _ = run_asm(source)
+        assert result.transactions[-1].value == 1
+
+    def test_untaken_branch_executes_delay_slot(self):
+        source = _program("""
+        mov     0, %o0
+        subcc   %g0, 0, %g0            ! Z=1
+        bne     target
+        mov     1, %o0                 ! delay slot executes
+target:
+        st      %o0, [%l1]
+""")
+        result, _ = run_asm(source)
+        assert result.transactions[-1].value == 1
+
+    def test_annulled_branch_always_skips_delay_slot(self):
+        source = _program("""
+        mov     0, %o0
+        ba,a    target
+        mov     1, %o0                 ! annulled
+target:
+        st      %o0, [%l1]
+""")
+        result, _ = run_asm(source)
+        assert result.transactions[-1].value == 0
+
+    def test_untaken_annulled_conditional_skips_delay_slot(self):
+        source = _program("""
+        mov     0, %o0
+        subcc   %g0, 0, %g0            ! Z=1
+        bne,a   target
+        mov     1, %o0                 ! annulled because branch is not taken
+target:
+        st      %o0, [%l1]
+""")
+        result, _ = run_asm(source)
+        assert result.transactions[-1].value == 0
+
+    def test_taken_annulled_conditional_executes_delay_slot(self):
+        source = _program("""
+        mov     0, %o0
+        subcc   %g0, 0, %g0            ! Z=1
+        be,a    target
+        mov     1, %o0                 ! executed because the branch is taken
+target:
+        st      %o0, [%l1]
+""")
+        result, _ = run_asm(source)
+        assert result.transactions[-1].value == 1
+
+    def test_loop_counts_correctly(self):
+        source = _program("""
+        mov     0, %o0
+        mov     0, %o1
+loop:
+        add     %o1, %o0, %o1
+        inc     %o0
+        cmp     %o0, 5
+        bl      loop
+        nop
+        st      %o1, [%l1]
+""")
+        result, _ = run_asm(source)
+        assert result.transactions[-1].value == 0 + 1 + 2 + 3 + 4
+
+    def test_unsigned_branch_on_wraparound(self):
+        source = _program("""
+        set     0xFFFFFFFF, %o0
+        cmp     %o0, 1
+        bgu     bigger
+        nop
+        mov     0, %o2
+        ba      done
+        nop
+bigger:
+        mov     1, %o2
+done:
+        st      %o2, [%l1]
+""")
+        result, _ = run_asm(source)
+        assert result.transactions[-1].value == 1
+
+
+class TestCallAndReturn:
+    def test_call_and_retl(self):
+        source = _program("""
+        mov     3, %o0
+        call    double_it
+        nop
+        st      %o0, [%l1]
+        ba      finish
+        nop
+double_it:
+        retl
+        add     %o0, %o0, %o0          ! delay slot of retl
+finish:
+        nop
+""")
+        result, _ = run_asm(source)
+        assert result.transactions[-1].value == 6
+
+    def test_call_stores_return_address_in_o7(self):
+        source = _program("""
+        call    grab
+        nop
+        ba      finish
+        nop
+grab:
+        st      %o7, [%l1]
+        retl
+        nop
+finish:
+        nop
+""")
+        result, _ = run_asm(source)
+        # %o7 holds the address of the call instruction itself; one `set`
+        # expansion (2 words) precedes the call in the program template.
+        program_base = 0x40000000
+        assert result.transactions[0].value == program_base + 2 * 4
+
+    def test_nested_call_with_register_window(self):
+        source = _program("""
+        mov     10, %o0
+        call    outer
+        nop
+        st      %o0, [%l1]
+        ba      finish
+        nop
+outer:
+        save    %sp, -96, %sp
+        mov     %i0, %o0
+        call    inner
+        nop
+        add     %o0, 1, %i0            ! result + 1
+        ret
+        restore
+inner:
+        retl
+        add     %o0, 5, %o0
+finish:
+        nop
+""")
+        result, _ = run_asm(source)
+        assert result.transactions[-1].value == 16
+
+    def test_jmpl_indirect_jump(self):
+        source = _program("""
+        set     table_target, %g1
+        jmpl    %g1, 0, %g2
+        nop
+        mov     0, %o0                 ! skipped
+        ba      finish
+        nop
+table_target:
+        mov     7, %o0
+finish:
+        st      %o0, [%l1]
+""")
+        result, _ = run_asm(source)
+        assert result.transactions[-1].value == 7
+
+
+class TestWindowsAndTraps:
+    def test_save_restore_passes_values(self):
+        source = _program("""
+        mov     21, %o0
+        save    %sp, -96, %sp
+        add     %i0, %i0, %i0
+        restore
+        st      %o0, [%l1]
+""")
+        result, _ = run_asm(source)
+        assert result.transactions[-1].value == 42
+
+    def test_window_overflow_traps(self):
+        body = "\n".join("        save    %sp, -96, %sp" for _ in range(9))
+        result, _ = run_asm(_program(body))
+        assert result.halted and result.trap.kind == "window"
+
+    def test_window_underflow_traps(self):
+        result, _ = run_asm(_program("        restore"))
+        assert result.halted and result.trap.kind == "window"
+
+    def test_exit_trap_reports_code(self):
+        source = """
+        .text
+        mov     5, %o0
+        ta      0
+"""
+        result, _ = run_asm(source)
+        assert result.normal_exit
+        assert result.exit_code == 5
+
+    def test_non_zero_software_trap(self):
+        source = ".text\n        ta      3\n"
+        result, _ = run_asm(source)
+        assert result.halted
+        assert result.trap.kind == "software_trap"
+        assert not result.normal_exit
+
+    def test_illegal_instruction_traps(self):
+        source = """
+        .text
+        set     garbage, %l0
+        jmpl    %l0, 0, %g0
+        nop
+        .data
+garbage:
+        .word   0xFFFFFFFF
+"""
+        result, _ = run_asm(source)
+        assert result.halted
+        assert result.trap.kind == "illegal_instruction"
+
+    def test_watchdog_stops_infinite_loop(self):
+        source = ".text\nforever:\n        ba      forever\n        nop\n"
+        result, _ = run_asm(source, max_instructions=500)
+        assert not result.halted
+        assert result.trap is not None and result.trap.kind == "watchdog"
+        assert result.instructions == 500
+
+    def test_instruction_count_and_cycles_accumulate(self, small_program=None):
+        source = _program("""
+        mov     1, %o0
+        umul    %o0, %o0, %o1
+        st      %o1, [%l1]
+""")
+        result, _ = run_asm(source)
+        assert result.instructions > 0
+        assert result.cycles >= result.instructions  # multi-cycle ops counted

@@ -1,0 +1,182 @@
+"""ISS functional emulator: loads, stores, I/O and off-core transactions."""
+
+from conftest import run_asm
+
+
+def _data_program(body: str, data: str = "        .word 0x11223344, 0x55667788") -> str:
+    return f"""
+        .text
+        set     data_in, %l0
+        set     out, %l1
+{body}
+        ta      0
+        .data
+data_in:
+{data}
+out:
+        .space  32
+"""
+
+
+class TestLoads:
+    def test_ld_word(self):
+        source = _data_program("""
+        ld      [%l0], %o0
+        st      %o0, [%l1]
+""")
+        result, _ = run_asm(source)
+        assert result.transactions[-1].value == 0x11223344
+
+    def test_ldub_picks_correct_byte(self):
+        source = _data_program("""
+        ldub    [%l0 + 1], %o0
+        st      %o0, [%l1]
+""")
+        result, _ = run_asm(source)
+        assert result.transactions[-1].value == 0x22
+
+    def test_ldsb_sign_extends(self):
+        source = _data_program("""
+        ldsb    [%l0], %o0
+        st      %o0, [%l1]
+""", data="        .word 0xFF000000")
+        result, _ = run_asm(source)
+        assert result.transactions[-1].value == 0xFFFFFFFF
+
+    def test_lduh_and_ldsh(self):
+        source = _data_program("""
+        lduh    [%l0 + 2], %o0
+        st      %o0, [%l1]
+        ldsh    [%l0 + 2], %o1
+        st      %o1, [%l1 + 4]
+""", data="        .word 0x0000F234")
+        result, _ = run_asm(source)
+        assert result.transactions[0].value == 0xF234
+        assert result.transactions[1].value == 0xFFFFF234
+
+    def test_ldd_loads_register_pair(self):
+        source = _data_program("""
+        ldd     [%l0], %g2
+        st      %g2, [%l1]
+        st      %g3, [%l1 + 4]
+""")
+        result, _ = run_asm(source)
+        assert result.transactions[0].value == 0x11223344
+        assert result.transactions[1].value == 0x55667788
+
+    def test_register_indexed_load(self):
+        source = _data_program("""
+        mov     4, %g1
+        ld      [%l0 + %g1], %o0
+        st      %o0, [%l1]
+""")
+        result, _ = run_asm(source)
+        assert result.transactions[-1].value == 0x55667788
+
+    def test_misaligned_load_traps(self):
+        source = _data_program("        ld      [%l0 + 2], %o0")
+        result, _ = run_asm(source)
+        assert result.halted and result.trap.kind == "memory"
+
+
+class TestStores:
+    def test_st_word_appears_off_core(self):
+        source = _data_program("""
+        set     0xCAFEBABE, %o0
+        st      %o0, [%l1]
+""")
+        result, _ = run_asm(source)
+        transaction = result.transactions[-1]
+        assert transaction.kind == "store"
+        assert transaction.value == 0xCAFEBABE
+        assert transaction.size == 4
+
+    def test_stb_masks_to_byte(self):
+        source = _data_program("""
+        set     0x1234, %o0
+        stb     %o0, [%l1]
+""")
+        result, _ = run_asm(source)
+        assert result.transactions[-1].value == 0x34
+        assert result.transactions[-1].size == 1
+
+    def test_sth_masks_to_halfword(self):
+        source = _data_program("""
+        set     0xABCD1234, %o0
+        sth     %o0, [%l1]
+""")
+        result, _ = run_asm(source)
+        assert result.transactions[-1].value == 0x1234
+        assert result.transactions[-1].size == 2
+
+    def test_std_produces_two_transactions(self):
+        source = _data_program("""
+        set     0x11112222, %g2
+        set     0x33334444, %g3
+        std     %g2, [%l1]
+""")
+        result, _ = run_asm(source)
+        assert [t.value for t in result.transactions] == [0x11112222, 0x33334444]
+
+    def test_store_then_load_roundtrip(self):
+        source = _data_program("""
+        set     0x5A5A5A5A, %o0
+        st      %o0, [%l1 + 8]
+        ld      [%l1 + 8], %o1
+        st      %o1, [%l1 + 12]
+""")
+        result, _ = run_asm(source)
+        assert result.transactions[-1].value == 0x5A5A5A5A
+
+    def test_store_order_is_preserved(self):
+        source = _data_program("""
+        mov     1, %o0
+        st      %o0, [%l1]
+        mov     2, %o0
+        st      %o0, [%l1 + 4]
+        mov     3, %o0
+        st      %o0, [%l1 + 8]
+""")
+        result, _ = run_asm(source)
+        assert [t.value for t in result.transactions] == [1, 2, 3]
+
+
+class TestIo:
+    def test_io_store_is_flagged(self):
+        source = """
+        .text
+        set     0x80000100, %l0
+        mov     9, %o0
+        st      %o0, [%l0]
+        ta      0
+"""
+        result, _ = run_asm(source)
+        assert result.transactions[-1].kind == "io"
+
+    def test_io_read_is_recorded(self):
+        source = """
+        .text
+        set     0x80000200, %l0
+        ld      [%l0], %o0
+        ta      0
+"""
+        result, _ = run_asm(source)
+        assert result.transactions and result.transactions[0].kind == "io"
+
+    def test_regular_memory_loads_are_not_recorded(self):
+        source = _data_program("        ld      [%l0], %o0")
+        result, _ = run_asm(source)
+        assert result.transactions == []
+
+
+class TestTraceCounters:
+    def test_memory_instruction_counters(self):
+        source = _data_program("""
+        ld      [%l0], %o0
+        ld      [%l0 + 4], %o1
+        st      %o0, [%l1]
+""")
+        result, _ = run_asm(source)
+        assert result.trace.memory_reads == 2
+        assert result.trace.memory_writes == 1
+        assert result.trace.memory_instructions == 3

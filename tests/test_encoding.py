@@ -1,0 +1,130 @@
+"""Tests for the SPARCv8 instruction-format encoders and bit helpers."""
+
+import pytest
+
+from repro.isa import encoding
+from repro.isa.encoding import (
+    EncodingError,
+    Format1,
+    Format2Branch,
+    Format2Sethi,
+    Format3Imm,
+    Format3Reg,
+    bit,
+    bits,
+    decode_format3,
+    mask,
+    sign_extend,
+    to_s32,
+    to_u32,
+)
+
+
+class TestBitHelpers:
+    def test_mask_truncates_to_width(self):
+        assert mask(0x1FF, 8) == 0xFF
+
+    def test_mask_keeps_value_in_range(self):
+        assert mask(0x55, 8) == 0x55
+
+    def test_sign_extend_positive(self):
+        assert sign_extend(0x0FF, 13) == 0xFF
+
+    def test_sign_extend_negative(self):
+        assert sign_extend(0x1FFF, 13) == -1
+
+    def test_sign_extend_min_value(self):
+        assert sign_extend(1 << 12, 13) == -4096
+
+    def test_to_u32_wraps(self):
+        assert to_u32(1 << 32) == 0
+        assert to_u32(-1) == 0xFFFFFFFF
+
+    def test_to_s32_negative(self):
+        assert to_s32(0xFFFFFFFF) == -1
+        assert to_s32(0x80000000) == -(1 << 31)
+
+    def test_to_s32_positive(self):
+        assert to_s32(0x7FFFFFFF) == (1 << 31) - 1
+
+    def test_bit_extraction(self):
+        assert bit(0b1010, 1) == 1
+        assert bit(0b1010, 2) == 0
+
+    def test_bits_slice(self):
+        assert bits(0xABCD1234, 31, 28) == 0xA
+        assert bits(0xABCD1234, 15, 0) == 0x1234
+
+
+class TestFormat1:
+    def test_call_roundtrip_positive(self):
+        word = Format1(disp30=0x100).encode()
+        assert Format1.decode(word).disp30 == 0x100
+
+    def test_call_roundtrip_negative(self):
+        word = Format1(disp30=-4).encode()
+        assert Format1.decode(word).disp30 == -4
+
+    def test_call_major_opcode(self):
+        word = Format1(disp30=1).encode()
+        assert bits(word, 31, 30) == encoding.OP_CALL
+
+
+class TestFormat2:
+    def test_sethi_roundtrip(self):
+        word = Format2Sethi(rd=5, imm22=0x3ABCDE).encode()
+        decoded = Format2Sethi.decode(word)
+        assert decoded.rd == 5
+        assert decoded.imm22 == 0x3ABCDE
+
+    def test_sethi_rejects_wide_rd(self):
+        with pytest.raises(EncodingError):
+            Format2Sethi(rd=32, imm22=0).encode()
+
+    def test_branch_roundtrip(self):
+        word = Format2Branch(cond=0x9, disp22=-16, annul=True).encode()
+        decoded = Format2Branch.decode(word)
+        assert decoded.cond == 0x9
+        assert decoded.disp22 == -16
+        assert decoded.annul is True
+
+    def test_branch_annul_bit_position(self):
+        plain = Format2Branch(cond=1, disp22=4, annul=False).encode()
+        annulled = Format2Branch(cond=1, disp22=4, annul=True).encode()
+        assert annulled == plain | (1 << 29)
+
+    def test_branch_rejects_out_of_range_displacement(self):
+        with pytest.raises(EncodingError):
+            Format2Branch(cond=1, disp22=1 << 22).encode()
+
+
+class TestFormat3:
+    def test_register_form_fields(self):
+        word = Format3Reg(op=2, op3=0x00, rd=1, rs1=2, rs2=3).encode()
+        fields = decode_format3(word)
+        assert fields["op"] == 2
+        assert fields["op3"] == 0x00
+        assert fields["rd"] == 1
+        assert fields["rs1"] == 2
+        assert fields["rs2"] == 3
+        assert fields["i"] == 0
+
+    def test_immediate_form_fields(self):
+        word = Format3Imm(op=2, op3=0x04, rd=7, rs1=8, simm13=-9).encode()
+        fields = decode_format3(word)
+        assert fields["i"] == 1
+        assert fields["simm13"] == -9
+        assert fields["rd"] == 7
+        assert fields["rs1"] == 8
+
+    def test_immediate_boundaries(self):
+        assert decode_format3(Format3Imm(2, 0, 0, 0, 4095).encode())["simm13"] == 4095
+        assert decode_format3(Format3Imm(2, 0, 0, 0, -4096).encode())["simm13"] == -4096
+
+    def test_immediate_out_of_range(self):
+        with pytest.raises(EncodingError):
+            Format3Imm(op=2, op3=0, rd=0, rs1=0, simm13=4096).encode()
+
+    def test_register_form_rejects_bad_register(self):
+        with pytest.raises(EncodingError):
+            Format3Reg(op=2, op3=0, rd=0, rs1=0, rs2=32).encode()

@@ -1,0 +1,112 @@
+"""Integration tests for the experiment drivers and report rendering.
+
+These exercise the full pipeline end-to-end (ISS characterisation, RTL
+campaigns, correlation and report formatting) at a deliberately tiny scale so
+the whole suite stays fast; the benchmark harness runs the same drivers at
+meaningful scale.
+"""
+
+import pytest
+
+from repro.core import experiments, report
+from repro.core.correlation import CorrelationPoint, correlate
+from repro.core.experiments import (
+    figure3_input_data,
+    figure4_iterations,
+    figure5_iu_faults,
+    figure7_correlation,
+    simulation_time_comparison,
+    table1_characterization,
+)
+from repro.rtl.faults import FaultModel
+
+
+class TestTable1Driver:
+    def test_characterization_covers_all_table1_workloads(self):
+        rows = table1_characterization(full_size=False)
+        assert set(rows) == set(experiments.TABLE1_WORKLOADS)
+        for characterization in rows.values():
+            assert characterization.total_instructions > 0
+
+    def test_automotive_diversity_band_matches_paper_ordering(self):
+        rows = table1_characterization(full_size=False)
+        automotive = [rows[name].diversity for name in ("puwmod", "canrdr", "ttsprk", "rspeed")]
+        synthetic = [rows[name].diversity for name in ("membench", "intbench")]
+        assert min(automotive) > max(synthetic)
+
+    def test_render_table1_contains_measured_and_paper_values(self):
+        rows = table1_characterization(workloads=("intbench",), full_size=False)
+        text = report.render_table1(rows)
+        assert "intbench" in text
+        assert "2621" in text  # paper's value shown side by side
+
+
+@pytest.mark.slow
+class TestCampaignDrivers:
+    def test_figure3_structure(self):
+        result = figure3_input_data(sample_size=8, seed=5)
+        assert set(result.subset_a) == {"a2time", "ttsprk", "bitmnp"}
+        assert set(result.subset_b) == {"rspeed", "tblook", "basefp"}
+        for value in list(result.subset_a.values()) + list(result.subset_b.values()):
+            assert 0.0 <= value <= 1.0
+        assert result.spread("a") >= 0.0
+
+    def test_figure4_latency_grows_with_iterations(self):
+        points = figure4_iterations(iteration_counts=(1, 3), sample_size=10, seed=4)
+        assert [p.iterations for p in points] == [1, 3]
+        assert points[1].golden_instructions > points[0].golden_instructions
+        assert points[1].max_latency_us >= points[0].max_latency_us
+
+    def test_figure5_driver_returns_campaigns(self):
+        results = figure5_iu_faults(
+            workloads=("intbench",),
+            fault_models=[FaultModel.STUCK_AT_1],
+            sample_size=10,
+            seed=3,
+        )
+        assert set(results) == {"intbench"}
+        campaign = results["intbench"][FaultModel.STUCK_AT_1]
+        assert campaign.injections == 10
+        text = report.render_campaign_matrix(results, "Figure 5")
+        assert "intbench" in text and "Stuck-at-1" in text
+
+    def test_figure7_correlation_positive_coefficient(self):
+        result = figure7_correlation(
+            workloads=("intbench", "rspeed"),
+            include_excerpts=True,
+            sample_size=15,
+            seed=8,
+        )
+        assert len(result.points) == 4  # two workloads + two excerpt subsets
+        assert result.coefficient > 0
+        rendered = report.render_correlation(result)
+        assert "paper fit" in rendered
+
+    def test_simulation_time_comparison_shows_iss_faster(self):
+        comparison = simulation_time_comparison(workload="intbench", sample_size=5)
+        assert comparison.rtl_seconds > 0
+        assert comparison.iss_seconds > 0
+        assert comparison.speedup > 1.0
+
+
+class TestReportHelpers:
+    def test_format_table_alignment(self):
+        text = report.format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+    def test_render_correlation_lists_points_sorted_by_diversity(self):
+        result = correlate(
+            [
+                CorrelationPoint("high", 47, 0.3),
+                CorrelationPoint("low", 8, 0.1),
+            ]
+        )
+        rendered = report.render_correlation(result)
+        assert rendered.index("low") < rendered.index("high")
+
+    def test_paper_reference_values_present(self):
+        assert report.PAPER_TABLE1["rspeed"]["Diversity"] == 47
+        assert report.PAPER_FIG7_FIT["r_squared"] == pytest.approx(0.9246)
+        assert report.PAPER_SIMULATION_HOURS["rtl"] > report.PAPER_SIMULATION_HOURS["iss"]

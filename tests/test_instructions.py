@@ -1,0 +1,109 @@
+"""Tests for the opcode table and functional-unit mapping."""
+
+import pytest
+
+from repro.isa.instructions import (
+    BRANCH_CONDITIONS,
+    INSTRUCTION_SET,
+    FunctionalUnit,
+    InstructionCategory,
+    instruction_set,
+    lookup,
+)
+
+
+class TestTableConsistency:
+    def test_lookup_known_mnemonic(self):
+        assert lookup("add").mnemonic == "add"
+
+    def test_lookup_unknown_mnemonic_raises(self):
+        with pytest.raises(KeyError):
+            lookup("fdivs")
+
+    def test_singleton_accessor(self):
+        assert instruction_set() is INSTRUCTION_SET
+
+    def test_every_format3_instruction_has_unique_opcode(self):
+        seen = set()
+        for item in INSTRUCTION_SET:
+            if item.op is not None and item.op3 is not None:
+                key = (item.op, item.op3)
+                assert key not in seen
+                seen.add(key)
+
+    def test_branch_conditions_cover_all_16_encodings(self):
+        assert sorted(BRANCH_CONDITIONS.values()) == list(range(16))
+
+    def test_by_op_op3_returns_none_for_unknown(self):
+        assert INSTRUCTION_SET.by_op_op3(2, 0x3F) is None
+
+    def test_by_condition_lookup(self):
+        assert INSTRUCTION_SET.by_condition(0x8).mnemonic == "ba"
+
+    def test_table_size_covers_supported_subset(self):
+        # 37 format-3 ALU/control + 10 memory + sethi + call + 16 branches
+        assert len(INSTRUCTION_SET) == 65
+
+
+class TestFunctionalUnits:
+    def test_every_instruction_uses_front_end(self):
+        for item in INSTRUCTION_SET:
+            assert FunctionalUnit.FETCH in item.units
+            assert FunctionalUnit.DECODE in item.units
+            assert FunctionalUnit.ICACHE in item.units
+
+    def test_loads_use_dcache_and_adder(self):
+        defn = lookup("ld")
+        assert FunctionalUnit.DCACHE in defn.units
+        assert FunctionalUnit.ALU_ADDER in defn.units
+        assert defn.reads_memory and not defn.writes_memory
+
+    def test_stores_are_memory_writes(self):
+        defn = lookup("st")
+        assert defn.writes_memory and not defn.reads_memory
+        assert defn.access_size == 4
+
+    def test_shift_uses_shifter_only(self):
+        defn = lookup("sll")
+        assert FunctionalUnit.SHIFTER in defn.units
+        assert FunctionalUnit.ALU_ADDER not in defn.units
+
+    def test_multiply_and_divide_use_dedicated_units(self):
+        assert FunctionalUnit.MULTIPLIER in lookup("umul").units
+        assert FunctionalUnit.DIVIDER in lookup("sdiv").units
+
+    def test_branches_use_branch_unit_and_psr(self):
+        defn = lookup("bne")
+        assert FunctionalUnit.BRANCH_UNIT in defn.units
+        assert FunctionalUnit.PSR in defn.units
+        assert defn.is_control
+
+    def test_cc_variants_set_icc(self):
+        assert lookup("addcc").sets_icc
+        assert not lookup("add").sets_icc
+
+    def test_opcodes_for_unit_returns_exercising_opcodes(self):
+        shifter_ops = set(INSTRUCTION_SET.opcodes_for_unit(FunctionalUnit.SHIFTER))
+        assert shifter_ops == {"sll", "srl", "sra"}
+
+    def test_divider_opcodes(self):
+        divider_ops = set(INSTRUCTION_SET.opcodes_for_unit(FunctionalUnit.DIVIDER))
+        assert divider_ops == {"udiv", "sdiv", "udivcc", "sdivcc"}
+
+    def test_sign_extending_loads_flagged(self):
+        assert lookup("ldsb").sign_extend
+        assert lookup("ldsh").sign_extend
+        assert not lookup("ldub").sign_extend
+
+    def test_latencies_are_positive(self):
+        for item in INSTRUCTION_SET:
+            assert item.latency >= 1
+
+    def test_divide_slower_than_add(self):
+        assert lookup("udiv").latency > lookup("add").latency
+
+    def test_categories_match_mnemonics(self):
+        assert lookup("umul").category is InstructionCategory.MULTIPLY
+        assert lookup("save").category is InstructionCategory.WINDOW
+        assert lookup("sethi").category is InstructionCategory.SETHI
+        assert lookup("ticc").category is InstructionCategory.TRAP

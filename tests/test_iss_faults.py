@@ -1,0 +1,85 @@
+"""Tests for architectural (ISS-level) fault injection."""
+
+import pytest
+
+from repro.iss.faults import ArchitecturalFault, IssFaultInjector
+
+from conftest import SMALL_PROGRAM_SOURCE
+from repro.isa.assembler import assemble
+
+
+@pytest.fixture
+def injector():
+    return IssFaultInjector(assemble(SMALL_PROGRAM_SOURCE, name="small"))
+
+
+class TestArchitecturalFault:
+    def test_stuck_at_one_sets_bit(self):
+        fault = ArchitecturalFault(register=8, bit=3, model="stuck_at_1")
+        assert fault.apply(0) == 8
+
+    def test_stuck_at_zero_clears_bit(self):
+        fault = ArchitecturalFault(register=8, bit=0, model="stuck_at_0")
+        assert fault.apply(0xF) == 0xE
+
+    def test_bit_flip_toggles(self):
+        fault = ArchitecturalFault(register=8, bit=1, model="bit_flip")
+        assert fault.apply(0) == 2
+        assert fault.apply(2) == 0
+
+    def test_invalid_register_rejected(self):
+        with pytest.raises(ValueError):
+            ArchitecturalFault(register=40, bit=0, model="stuck_at_1")
+
+    def test_invalid_bit_rejected(self):
+        with pytest.raises(ValueError):
+            ArchitecturalFault(register=1, bit=32, model="stuck_at_1")
+
+    def test_invalid_model_rejected(self):
+        with pytest.raises(ValueError):
+            ArchitecturalFault(register=1, bit=0, model="stuck_open")
+
+
+class TestIssFaultInjector:
+    def test_golden_run_is_cached(self, injector):
+        first = injector.golden_run()
+        second = injector.golden_run()
+        assert first is second
+        assert first.normal_exit
+
+    def test_fault_in_unused_register_is_masked(self, injector):
+        # %i5 (register 29) is never used by the small program.
+        fault = ArchitecturalFault(register=29, bit=7, model="stuck_at_1")
+        faulty = injector.run_with_fault(fault)
+        assert not injector.is_failure(faulty)
+
+    def test_fault_in_live_register_causes_failure(self, injector):
+        # %o0 (register 8) holds a loaded operand: stick a high bit.
+        fault = ArchitecturalFault(register=8, bit=16, model="stuck_at_1")
+        faulty = injector.run_with_fault(fault)
+        assert injector.is_failure(faulty)
+
+    def test_g0_faults_never_propagate(self, injector):
+        fault = ArchitecturalFault(register=0, bit=5, model="stuck_at_1")
+        faulty = injector.run_with_fault(fault)
+        assert not injector.is_failure(faulty)
+
+    def test_campaign_statistics_are_consistent(self, injector):
+        faults = [
+            ArchitecturalFault(register=reg, bit=bit, model="stuck_at_1")
+            for reg, bit in [(8, 0), (8, 20), (29, 3), (0, 1)]
+        ]
+        summary = injector.campaign(faults)
+        assert summary["total"] == 4
+        assert 0 <= summary["failures"] <= 4
+        assert summary["failure_probability"] == summary["failures"] / 4
+        assert len(summary["outcomes"]) == 4
+
+    def test_transient_flip_late_in_program_is_less_harmful(self, injector):
+        early = ArchitecturalFault(register=8, bit=30, model="bit_flip", trigger_index=0)
+        late = ArchitecturalFault(register=8, bit=30, model="bit_flip", trigger_index=10_000)
+        early_failed = injector.is_failure(injector.run_with_fault(early))
+        late_failed = injector.is_failure(injector.run_with_fault(late))
+        # The late flip triggers after the program finished using %o0 (or not
+        # at all), so it can only be benign if the early one is too.
+        assert late_failed <= early_failed

@@ -1,0 +1,270 @@
+"""Unit tests for the structural Leon3 building blocks (ALU, regfile, PSR, cache, bus)."""
+
+import pytest
+
+from repro.isa.ccodes import ConditionCodes
+from repro.isa.registers import RegisterWindowError
+from repro.iss.memory import Memory
+from repro.leon3.alu import Alu
+from repro.leon3.bus import BusMonitor
+from repro.leon3.cache import CacheMemory, DirectMappedCache
+from repro.leon3.psr import ProcessorState
+from repro.leon3.regfile import RegisterFileRtl
+from repro.rtl.faults import FaultModel, PermanentFault
+from repro.rtl.netlist import Netlist
+
+
+@pytest.fixture
+def netlist():
+    return Netlist()
+
+
+class TestAlu:
+    def test_add_and_carry_flag(self, netlist):
+        alu = Alu(netlist)
+        result, icc = alu.add(0xFFFFFFFF, 1)
+        assert result == 0
+        assert icc.c == 1 and icc.z == 1
+
+    def test_subtract_borrow(self, netlist):
+        alu = Alu(netlist)
+        result, icc = alu.subtract(3, 5)
+        assert result == 0xFFFFFFFE
+        assert icc.c == 1 and icc.n == 1
+
+    def test_logic_operations(self, netlist):
+        alu = Alu(netlist)
+        assert alu.logic("and", 0xF0, 0x3C)[0] == 0x30
+        assert alu.logic("or", 0xF0, 0x0F)[0] == 0xFF
+        assert alu.logic("xor", 0xFF, 0x0F)[0] == 0xF0
+        assert alu.logic("xnor", 0, 0)[0] == 0xFFFFFFFF
+        assert alu.logic("mov", 0, 0x1234)[0] == 0x1234
+
+    def test_shift_operations(self, netlist):
+        alu = Alu(netlist)
+        assert alu.shift("sll", 1, 4) == 16
+        assert alu.shift("srl", 0x80000000, 31) == 1
+        assert alu.shift("sra", 0x80000000, 31) == 0xFFFFFFFF
+
+    def test_multiply_unsigned_and_signed(self, netlist):
+        alu = Alu(netlist)
+        assert alu.multiply(6, 7, signed=False) == (42, 0)
+        low, high = alu.multiply(0xFFFFFFFF, 2, signed=True)  # -1 * 2
+        assert low == 0xFFFFFFFE and high == 0xFFFFFFFF
+
+    def test_divide(self, netlist):
+        alu = Alu(netlist)
+        assert alu.divide(0, 42, 6, signed=False) == 7
+        assert alu.divide(1, 0, 16, signed=False) == 0x10000000
+
+    def test_divide_by_zero_raises(self, netlist):
+        alu = Alu(netlist)
+        with pytest.raises(ZeroDivisionError):
+            alu.divide(0, 1, 0, signed=False)
+
+    def test_fault_on_adder_output_corrupts_sum(self, netlist):
+        alu = Alu(netlist)
+        netlist.inject(
+            PermanentFault(netlist.site_for("alu.adder.sum", 0), FaultModel.STUCK_AT_1)
+        )
+        result, _ = alu.add(2, 2)
+        assert result == 5
+
+    def test_fault_on_adder_does_not_affect_shifter(self, netlist):
+        alu = Alu(netlist)
+        netlist.inject(
+            PermanentFault(netlist.site_for("alu.adder.sum", 0), FaultModel.STUCK_AT_1)
+        )
+        assert alu.shift("sll", 2, 1) == 4
+
+
+class TestRegisterFileRtl:
+    def test_write_read_through_ports(self, netlist):
+        regfile = RegisterFileRtl(netlist)
+        regfile.write(8, 0x1234, cwp=0)
+        assert regfile.read_port1(8, cwp=0) == 0x1234
+        assert regfile.read_port2(8, cwp=0) == 0x1234
+
+    def test_g0_always_zero(self, netlist):
+        regfile = RegisterFileRtl(netlist)
+        regfile.write(0, 99, cwp=0)
+        assert regfile.read_port1(0, cwp=0) == 0
+
+    def test_window_overlap_matches_sparc_semantics(self, netlist):
+        regfile = RegisterFileRtl(netlist)
+        regfile.write(8, 55, cwp=0)          # %o0 in window 0
+        assert regfile.read_port1(24, cwp=1) == 55  # %i0 in window 1
+
+    def test_save_restore_depth_tracking(self, netlist):
+        regfile = RegisterFileRtl(netlist, nwindows=3)
+        regfile.save()
+        regfile.save()
+        with pytest.raises(RegisterWindowError):
+            regfile.save()
+        regfile.restore()
+        regfile.restore()
+        with pytest.raises(RegisterWindowError):
+            regfile.restore()
+
+    def test_storage_cell_fault_corrupts_only_that_register(self, netlist):
+        regfile = RegisterFileRtl(netlist)
+        # Physical cell of %g1 is index 1.
+        netlist.inject(
+            PermanentFault(
+                netlist.site_for("rf.cells", 0, index=1), FaultModel.STUCK_AT_1
+            )
+        )
+        regfile.write(1, 0, cwp=0)
+        regfile.write(2, 0, cwp=0)
+        assert regfile.read_port1(1, cwp=0) == 1
+        assert regfile.read_port1(2, cwp=0) == 0
+
+    def test_port_address_fault_redirects_access(self, netlist):
+        regfile = RegisterFileRtl(netlist)
+        regfile.write(2, 0xAA, cwp=0)
+        regfile.write(3, 0xBB, cwp=0)
+        # Stick bit 0 of the read port address: reads of %g2 become %g3.
+        netlist.inject(
+            PermanentFault(netlist.site_for("rf.raddr1", 0), FaultModel.STUCK_AT_1)
+        )
+        assert regfile.read_port1(2, cwp=0) == 0xBB
+
+
+class TestProcessorState:
+    def test_icc_roundtrip(self, netlist):
+        psr = ProcessorState(netlist)
+        written = psr.write_icc(ConditionCodes(n=1, z=0, v=0, c=1))
+        assert written.n == 1 and written.c == 1
+        assert psr.read_icc().as_bits() == written.as_bits()
+
+    def test_cwp_wraps_modulo_windows(self, netlist):
+        psr = ProcessorState(netlist, nwindows=4)
+        assert psr.write_cwp(5) == 1
+
+    def test_y_register(self, netlist):
+        psr = ProcessorState(netlist)
+        psr.write_y(0xDEAD)
+        assert psr.read_y() == 0xDEAD
+
+    def test_fault_on_icc_bit_changes_observed_flags(self, netlist):
+        psr = ProcessorState(netlist)
+        netlist.inject(
+            PermanentFault(netlist.site_for("psr.icc", 2), FaultModel.STUCK_AT_1)
+        )
+        observed = psr.write_icc(ConditionCodes())
+        assert observed.z == 1
+
+
+class TestCaches:
+    def _make(self, netlist):
+        memory = Memory()
+        cache = DirectMappedCache(netlist, memory, "dcache", "cmem.dcache", lines=4, words_per_line=2)
+        return memory, cache
+
+    def test_first_access_misses_then_hits(self, netlist):
+        memory, cache = self._make(netlist)
+        memory.write_word(0x100, 0xAABBCCDD)
+        assert cache.read_word(0x100) == 0xAABBCCDD
+        assert (cache.hits, cache.misses) == (0, 1)
+        assert cache.read_word(0x100) == 0xAABBCCDD
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_line_fill_brings_neighbouring_word(self, netlist):
+        memory, cache = self._make(netlist)
+        memory.write_word(0x100, 1)
+        memory.write_word(0x104, 2)
+        cache.read_word(0x100)
+        assert cache.read_word(0x104) == 2
+        assert cache.misses == 1
+
+    def test_write_through_updates_memory(self, netlist):
+        memory, cache = self._make(netlist)
+        cache.write_word(0x200, 0x5555)
+        assert memory.read_word(0x200) == 0x5555
+
+    def test_conflicting_lines_evict(self, netlist):
+        memory, cache = self._make(netlist)
+        memory.write_word(0x0, 1)
+        memory.write_word(0x20, 2)  # maps to the same index (4 lines * 8 bytes)
+        cache.read_word(0x0)
+        cache.read_word(0x20)
+        cache.read_word(0x0)
+        assert cache.misses == 3
+
+    def test_invalidate_clears_contents(self, netlist):
+        memory, cache = self._make(netlist)
+        memory.write_word(0x300, 7)
+        cache.read_word(0x300)
+        cache.invalidate()
+        assert cache.read_word(0x300) == 7
+        assert cache.misses == 1  # counters were reset, this is a fresh miss
+
+    def test_data_array_fault_corrupts_cached_load(self, netlist):
+        memory, cache = self._make(netlist)
+        memory.write_word(0x100, 0)
+        # Fault in the data array cell that will hold address 0x100.
+        index = (0x100 // 8) % 4
+        cell = index * 2 + 0
+        netlist.inject(
+            PermanentFault(
+                netlist.site_for("dcache.data", 5, index=cell), FaultModel.STUCK_AT_1
+            )
+        )
+        assert cache.read_word(0x100) == 32
+
+    def test_cache_memory_subword_loads(self, netlist):
+        memory = Memory()
+        cmem = CacheMemory(netlist, memory, icache_lines=4, dcache_lines=4, words_per_line=2)
+        memory.write_word(0x100, 0x11223344)
+        assert cmem.load(0x100, 4) == 0x11223344
+        assert cmem.load(0x100, 1) == 0x11
+        assert cmem.load(0x101, 1) == 0x22
+        assert cmem.load(0x102, 2) == 0x3344
+
+    def test_cache_memory_subword_store_merges(self, netlist):
+        memory = Memory()
+        cmem = CacheMemory(netlist, memory, icache_lines=4, dcache_lines=4, words_per_line=2)
+        memory.write_word(0x200, 0x11223344)
+        cmem.store(0x201, 0xAA, 1)
+        assert memory.read_word(0x200) == 0x11AA3344
+        cmem.store(0x202, 0xBBCC, 2)
+        assert memory.read_word(0x200) == 0x11AABBCC
+
+    def test_instruction_fetch_goes_through_icache(self, netlist):
+        memory = Memory()
+        cmem = CacheMemory(netlist, memory, icache_lines=4, dcache_lines=4, words_per_line=2)
+        memory.write_word(0x40000000, 0x01020304)
+        assert cmem.fetch(0x40000000) == 0x01020304
+        assert cmem.icache.misses == 1
+        cmem.fetch(0x40000000)
+        assert cmem.icache.hits == 1
+
+
+class TestBusMonitor:
+    def test_store_recorded_with_values(self, netlist):
+        bus = BusMonitor(netlist)
+        bus.record_store(0x40020000, 0x1234, 4)
+        assert len(bus.transactions) == 1
+        transaction = bus.transactions[0]
+        assert transaction.kind == "store"
+        assert transaction.address == 0x40020000
+        assert transaction.value == 0x1234
+
+    def test_io_read_recorded(self, netlist):
+        bus = BusMonitor(netlist)
+        bus.record_io_read(0x80000000, 4)
+        assert bus.transactions[0].kind == "io"
+
+    def test_fault_on_bus_data_corrupts_transaction(self, netlist):
+        bus = BusMonitor(netlist)
+        netlist.inject(
+            PermanentFault(netlist.site_for("bus.wdata", 0), FaultModel.STUCK_AT_1)
+        )
+        bus.record_store(0x100, 0, 4)
+        assert bus.transactions[0].value == 1
+
+    def test_reset_clears_transactions(self, netlist):
+        bus = BusMonitor(netlist)
+        bus.record_store(0, 0, 4)
+        bus.reset()
+        assert bus.transactions == []

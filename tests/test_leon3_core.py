@@ -1,0 +1,239 @@
+"""Tests for the structural Leon3 core: golden runs and ISS co-simulation."""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.iss.emulator import Emulator
+from repro.iss.memory import Memory
+from repro.leon3.core import Leon3Core, run_program_rtl
+from repro.rtl.faults import FaultModel, PermanentFault
+
+from conftest import SMALL_PROGRAM_SOURCE
+
+
+def _cosimulate(source: str, max_instructions: int = 200_000):
+    """Run *source* on both simulators and return (iss_result, rtl_result)."""
+    program = assemble(source, name="cosim")
+    emulator = Emulator(memory=Memory())
+    emulator.load_program(program)
+    iss = emulator.run(max_instructions=max_instructions)
+    rtl = run_program_rtl(program, max_instructions=max_instructions)
+    return iss, rtl
+
+
+def _same_off_core_behaviour(iss, rtl) -> bool:
+    if len(iss.transactions) != len(rtl.transactions):
+        return False
+    return all(a.matches(b) for a, b in zip(iss.transactions, rtl.transactions))
+
+
+class TestGoldenRun:
+    def test_small_program_exits_normally(self, small_program):
+        result = run_program_rtl(small_program)
+        assert result.normal_exit
+        assert result.instructions > 0
+        assert result.cycles >= result.instructions
+
+    def test_transaction_cycles_are_monotonic(self, small_program):
+        result = run_program_rtl(small_program)
+        assert len(result.transaction_cycles) == len(result.transactions)
+        assert all(
+            earlier <= later
+            for earlier, later in zip(result.transaction_cycles, result.transaction_cycles[1:])
+        )
+
+    def test_trace_matches_instruction_count(self, small_program):
+        result = run_program_rtl(small_program)
+        assert result.trace.total_instructions == result.instructions
+
+    def test_caches_observe_traffic(self, small_program):
+        result = run_program_rtl(small_program)
+        assert result.icache_misses > 0
+
+    def test_run_requires_loaded_program(self):
+        core = Leon3Core()
+        with pytest.raises(RuntimeError):
+            core.reset()
+
+    def test_reload_restores_memory_image(self, small_program):
+        core = Leon3Core()
+        core.load_program(small_program)
+        first = core.run()
+        core.reload()
+        second = core.run()
+        assert _same_off_core_behaviour(first, second)
+
+    def test_site_universe_covers_iu_and_cmem(self):
+        core = Leon3Core()
+        assert core.sites.count(["iu"]) > 1000
+        assert core.sites.count(["cmem"]) > 1000
+
+
+class TestCoSimulation:
+    def test_small_program_matches_iss(self):
+        iss, rtl = _cosimulate(SMALL_PROGRAM_SOURCE)
+        assert iss.normal_exit and rtl.normal_exit
+        assert _same_off_core_behaviour(iss, rtl)
+
+    def test_arithmetic_and_flags_program(self):
+        source = """
+        .text
+        set     out, %l1
+        set     0x7FFFFFFF, %o0
+        addcc   %o0, 1, %o1            ! overflow
+        bvs     overflowed
+        nop
+        mov     0, %o2
+        ba      store
+        nop
+overflowed:
+        mov     1, %o2
+store:
+        st      %o1, [%l1]
+        st      %o2, [%l1 + 4]
+        subcc   %g0, 1, %o3
+        addx    %g0, 0, %o4            ! capture carry
+        st      %o4, [%l1 + 8]
+        ta      0
+        .data
+out:
+        .space  16
+"""
+        iss, rtl = _cosimulate(source)
+        assert _same_off_core_behaviour(iss, rtl)
+
+    def test_memory_access_program(self):
+        source = """
+        .text
+        set     table, %l0
+        set     out, %l1
+        mov     0, %l2
+        mov     0, %o0
+sum_loop:
+        sll     %l2, 2, %g1
+        ld      [%l0 + %g1], %g2
+        add     %o0, %g2, %o0
+        sth     %o0, [%l1]
+        stb     %o0, [%l1 + 2]
+        inc     %l2
+        cmp     %l2, 8
+        bl      sum_loop
+        nop
+        st      %o0, [%l1 + 4]
+        ldd     [%l0], %g2
+        std     %g2, [%l1 + 8]
+        ta      0
+        .data
+table:
+        .word   1, 2, 3, 4, 5, 6, 7, 8
+out:
+        .space  32
+"""
+        iss, rtl = _cosimulate(source)
+        assert _same_off_core_behaviour(iss, rtl)
+
+    def test_call_and_window_program(self):
+        source = """
+        .text
+        set     out, %l1
+        mov     6, %o0
+        call    factorialish
+        nop
+        st      %o0, [%l1]
+        ta      0
+factorialish:
+        save    %sp, -96, %sp
+        mov     1, %l0
+        mov     1, %l2
+fact_loop:
+        umul    %l0, %l2, %l0
+        inc     %l2
+        cmp     %l2, %i0
+        ble     fact_loop
+        nop
+        mov     %l0, %i0
+        ret
+        restore %i0, 0, %o0
+        .data
+out:
+        .space  8
+"""
+        iss, rtl = _cosimulate(source)
+        assert _same_off_core_behaviour(iss, rtl)
+        assert iss.transactions[0].value == 720
+
+    def test_division_and_y_register_program(self):
+        source = """
+        .text
+        set     out, %l1
+        set     1000000, %o0
+        mov     7, %o1
+        wr      %g0, 0, %y
+        udiv    %o0, %o1, %o2
+        st      %o2, [%l1]
+        umul    %o2, %o1, %o3
+        rd      %y, %o4
+        st      %o3, [%l1 + 4]
+        st      %o4, [%l1 + 8]
+        ta      0
+        .data
+out:
+        .space  16
+"""
+        iss, rtl = _cosimulate(source)
+        assert _same_off_core_behaviour(iss, rtl)
+
+    def test_traps_agree_between_simulators(self):
+        source = """
+        .text
+        wr      %g0, 0, %y
+        mov     3, %o0
+        mov     0, %o1
+        udiv    %o0, %o1, %o2
+        ta      0
+"""
+        iss, rtl = _cosimulate(source)
+        assert iss.halted and rtl.halted
+        assert not rtl.normal_exit
+        assert rtl.trap_kind == "division_by_zero"
+
+
+class TestFaultBehaviour:
+    def test_injected_fault_changes_off_core_stream(self, small_program):
+        golden = run_program_rtl(small_program)
+        core = Leon3Core()
+        core.load_program(small_program)
+        site = core.netlist.site_for("alu.adder.sum", 0)
+        core.inject([PermanentFault(site, FaultModel.STUCK_AT_1)])
+        faulty = core.run(max_instructions=golden.instructions * 2 + 100)
+        assert not _same_off_core_behaviour(golden, faulty)
+
+    def test_fault_in_unused_unit_is_masked(self, small_program):
+        golden = run_program_rtl(small_program)
+        core = Leon3Core()
+        core.load_program(small_program)
+        # The small program never divides: divider faults must be masked.
+        site = core.netlist.site_for("alu.div.quotient", 3)
+        core.inject([PermanentFault(site, FaultModel.STUCK_AT_1)])
+        faulty = core.run(max_instructions=golden.instructions * 2 + 100)
+        assert _same_off_core_behaviour(golden, faulty)
+
+    def test_clear_faults_restores_golden_behaviour(self, small_program):
+        golden = run_program_rtl(small_program)
+        core = Leon3Core()
+        core.load_program(small_program)
+        site = core.netlist.site_for("alu.adder.sum", 1)
+        core.inject([PermanentFault(site, FaultModel.STUCK_AT_1)])
+        core.run(max_instructions=golden.instructions * 2 + 100)
+        core.clear_faults()
+        core.reload()
+        clean = core.run()
+        assert _same_off_core_behaviour(golden, clean)
+
+    def test_active_faults_reported_in_result(self, small_program):
+        core = Leon3Core()
+        core.load_program(small_program)
+        fault = PermanentFault(core.netlist.site_for("iu.fe.pc", 2), FaultModel.STUCK_AT_0)
+        core.inject([fault])
+        result = core.run(max_instructions=1000)
+        assert fault in result.faults

@@ -1,0 +1,149 @@
+"""Targeted fault-effect tests on the structural Leon3 integer unit.
+
+These tests pin down *how* specific fault locations manifest, which is the
+mechanism behind the paper's diversity argument: front-end faults disturb
+every workload, execution-resource faults only disturb workloads whose
+instruction mix exercises that resource.
+"""
+
+import pytest
+
+from repro.faultinjection.comparison import FailureClass, compare_runs
+from repro.isa.assembler import assemble
+from repro.leon3.core import Leon3Core, run_program_rtl
+from repro.rtl.faults import FaultModel, PermanentFault
+
+
+ARITH_PROGRAM = """
+        .text
+        set     out, %l1
+        mov     9, %o0
+        mov     4, %o1
+        add     %o0, %o1, %o2
+        st      %o2, [%l1]
+        sub     %o0, %o1, %o3
+        st      %o3, [%l1 + 4]
+        ta      0
+        .data
+out:
+        .space  16
+"""
+
+SHIFT_PROGRAM = """
+        .text
+        set     out, %l1
+        mov     3, %o0
+        sll     %o0, 4, %o2
+        st      %o2, [%l1]
+        ta      0
+        .data
+out:
+        .space  8
+"""
+
+
+def _faulty_run(program_source, net, bit, model=FaultModel.STUCK_AT_1):
+    program = assemble(program_source, name="fault-effects")
+    golden = run_program_rtl(program)
+    core = Leon3Core()
+    core.load_program(program)
+    core.inject([PermanentFault(core.netlist.site_for(net, bit), model)])
+    faulty = core.run(max_instructions=golden.instructions * 2 + 100)
+    return golden, faulty
+
+
+class TestFrontEndFaults:
+    def test_fetch_pc_fault_breaks_any_program(self):
+        golden, faulty = _faulty_run(ARITH_PROGRAM, "iu.fe.pc", 31)
+        comparison = compare_runs(golden, faulty)
+        assert comparison.is_failure
+
+    def test_instruction_bus_fault_corrupts_decoding(self):
+        golden, faulty = _faulty_run(ARITH_PROGRAM, "iu.fe.inst", 30)
+        comparison = compare_runs(golden, faulty)
+        assert comparison.is_failure
+
+    def test_decode_rd_fault_redirects_results(self):
+        # Sticking a bit of the destination-register field sends ALU results
+        # to the wrong register, so the stored values change.
+        golden, faulty = _faulty_run(ARITH_PROGRAM, "iu.de.rd", 4)
+        comparison = compare_runs(golden, faulty)
+        assert comparison.is_failure
+
+
+class TestExecutionResourceFaults:
+    def test_adder_fault_corrupts_arithmetic_program(self):
+        golden, faulty = _faulty_run(ARITH_PROGRAM, "alu.adder.sum", 1)
+        comparison = compare_runs(golden, faulty)
+        assert comparison.is_failure
+
+    def test_shifter_fault_masked_for_arithmetic_program(self):
+        # ARITH_PROGRAM never shifts, so shifter faults cannot propagate.
+        golden, faulty = _faulty_run(ARITH_PROGRAM, "alu.shift.result", 7)
+        comparison = compare_runs(golden, faulty)
+        assert comparison.failure_class is FailureClass.NO_EFFECT
+
+    def test_shifter_fault_hits_shift_program(self):
+        golden, faulty = _faulty_run(SHIFT_PROGRAM, "alu.shift.result", 0)
+        comparison = compare_runs(golden, faulty)
+        assert comparison.is_failure
+
+    def test_multiplier_fault_masked_without_multiplications(self):
+        golden, faulty = _faulty_run(SHIFT_PROGRAM, "alu.mult.result_lo", 3)
+        comparison = compare_runs(golden, faulty)
+        assert comparison.failure_class is FailureClass.NO_EFFECT
+
+    @pytest.mark.parametrize("model", [FaultModel.STUCK_AT_1, FaultModel.STUCK_AT_0,
+                                       FaultModel.OPEN_LINE])
+    def test_unused_divider_masked_for_all_models(self, model):
+        golden, faulty = _faulty_run(ARITH_PROGRAM, "alu.div.quotient", 9, model)
+        assert compare_runs(golden, faulty).failure_class is FailureClass.NO_EFFECT
+
+
+class TestMemoryPathFaults:
+    def test_store_data_fault_changes_observed_value(self):
+        golden, faulty = _faulty_run(ARITH_PROGRAM, "iu.lsu.wdata", 5)
+        comparison = compare_runs(golden, faulty)
+        assert comparison.failure_class in (FailureClass.WRONG_DATA, FailureClass.WRONG_ADDRESS)
+
+    def test_store_address_fault_redirects_the_write(self):
+        golden, faulty = _faulty_run(ARITH_PROGRAM, "iu.lsu.addr", 3)
+        comparison = compare_runs(golden, faulty)
+        assert comparison.is_failure
+
+    def test_bus_data_fault_visible_to_lockstep_comparator(self):
+        # Bit 1 is 0 in both stored values (13 and 5), so sticking it to 1
+        # must corrupt what the lockstep comparator observes.
+        golden, faulty = _faulty_run(ARITH_PROGRAM, "bus.wdata", 1)
+        comparison = compare_runs(golden, faulty)
+        assert comparison.is_failure
+
+
+class TestStateFaults:
+    def test_psr_icc_fault_only_matters_with_conditional_branches(self):
+        # ARITH_PROGRAM has no conditional branch and no cc-consuming
+        # instruction, so a stuck condition-code bit is architecturally
+        # invisible at the off-core boundary.
+        golden, faulty = _faulty_run(ARITH_PROGRAM, "psr.icc", 3)
+        assert compare_runs(golden, faulty).failure_class is FailureClass.NO_EFFECT
+
+    def test_branch_target_fault_disrupts_looping_program(self):
+        source = """
+        .text
+        set     out, %l1
+        mov     0, %o0
+        mov     0, %o1
+loop:
+        add     %o1, %o0, %o1
+        inc     %o0
+        cmp     %o0, 6
+        bl      loop
+        nop
+        st      %o1, [%l1]
+        ta      0
+        .data
+out:
+        .space  8
+"""
+        golden, faulty = _faulty_run(source, "iu.branch.target", 2)
+        assert compare_runs(golden, faulty).is_failure

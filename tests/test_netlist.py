@@ -1,0 +1,145 @@
+"""Tests for the RTL netlist substrate (nets, arrays, fault application)."""
+
+import pytest
+
+from repro.rtl.faults import FaultModel, PermanentFault
+from repro.rtl.netlist import Netlist, NetlistError
+from repro.rtl.sites import FaultSite
+
+
+@pytest.fixture
+def netlist():
+    nl = Netlist()
+    nl.declare("alu.sum", 32, "iu.alu.adder")
+    nl.declare("ctrl.bit", 1, "iu.decode")
+    nl.declare_array("cache.data", 32, 16, "cmem.dcache")
+    return nl
+
+
+class TestNets:
+    def test_drive_and_sample(self, netlist):
+        assert netlist.drive("alu.sum", 0x1234) == 0x1234
+        assert netlist.sample("alu.sum") == 0x1234
+
+    def test_drive_masks_to_width(self, netlist):
+        assert netlist.drive("ctrl.bit", 2) == 0
+        assert netlist.drive("ctrl.bit", 3) == 1
+
+    def test_duplicate_declaration_raises(self, netlist):
+        with pytest.raises(NetlistError):
+            netlist.declare("alu.sum", 32, "iu.alu.adder")
+
+    def test_unknown_net_raises(self, netlist):
+        with pytest.raises(NetlistError):
+            netlist.sample("missing.net")
+
+    def test_unsupported_width_raises(self):
+        nl = Netlist()
+        with pytest.raises(NetlistError):
+            nl.declare("too.wide", 65, "iu")
+
+    def test_reset_state_clears_values_but_not_faults(self, netlist):
+        fault = PermanentFault(netlist.site_for("alu.sum", 0), FaultModel.STUCK_AT_1)
+        netlist.inject(fault)
+        netlist.drive("alu.sum", 0x10)
+        netlist.reset_state()
+        assert netlist.sample("alu.sum") == 0
+        assert netlist.active_faults() == [fault]
+
+
+class TestNetFaults:
+    def test_stuck_at_one_forces_bit(self, netlist):
+        site = netlist.site_for("alu.sum", 4)
+        netlist.inject(PermanentFault(site, FaultModel.STUCK_AT_1))
+        assert netlist.drive("alu.sum", 0) == 0x10
+
+    def test_stuck_at_zero_forces_bit(self, netlist):
+        site = netlist.site_for("alu.sum", 0)
+        netlist.inject(PermanentFault(site, FaultModel.STUCK_AT_0))
+        assert netlist.drive("alu.sum", 0xFF) == 0xFE
+
+    def test_open_line_retains_previous_value(self, netlist):
+        site = netlist.site_for("alu.sum", 0)
+        netlist.inject(PermanentFault(site, FaultModel.OPEN_LINE))
+        assert netlist.drive("alu.sum", 1) == 0      # previous value was 0
+        netlist.clear_faults()
+        netlist.drive("alu.sum", 1)                  # latch a 1 without fault
+        netlist.inject(PermanentFault(site, FaultModel.OPEN_LINE))
+        assert netlist.drive("alu.sum", 0) == 1      # bit keeps the old 1
+
+    def test_multiple_faults_on_same_net(self, netlist):
+        netlist.inject(PermanentFault(netlist.site_for("alu.sum", 0), FaultModel.STUCK_AT_1))
+        netlist.inject(PermanentFault(netlist.site_for("alu.sum", 1), FaultModel.STUCK_AT_1))
+        assert netlist.drive("alu.sum", 0) == 3
+
+    def test_fault_bit_out_of_range_rejected(self, netlist):
+        with pytest.raises(NetlistError):
+            netlist.site_for("ctrl.bit", 3)
+
+    def test_clear_faults(self, netlist):
+        netlist.inject(PermanentFault(netlist.site_for("alu.sum", 0), FaultModel.STUCK_AT_1))
+        netlist.clear_faults()
+        assert netlist.drive("alu.sum", 0) == 0
+        assert netlist.active_faults() == []
+
+    def test_unfaulted_nets_unaffected(self, netlist):
+        netlist.inject(PermanentFault(netlist.site_for("alu.sum", 0), FaultModel.STUCK_AT_1))
+        assert netlist.drive("ctrl.bit", 0) == 0
+
+
+class TestStorageArrays:
+    def test_read_write_roundtrip(self, netlist):
+        array = netlist.array("cache.data")
+        array.write(3, 0xABCD)
+        assert array.read(3) == 0xABCD
+
+    def test_cell_fault_applies_on_read(self, netlist):
+        array = netlist.array("cache.data")
+        site = netlist.site_for("cache.data", 7, index=2)
+        netlist.inject(PermanentFault(site, FaultModel.STUCK_AT_1))
+        array.write(2, 0)
+        assert array.read(2) == 0x80
+
+    def test_cell_fault_does_not_affect_other_cells(self, netlist):
+        array = netlist.array("cache.data")
+        site = netlist.site_for("cache.data", 0, index=5)
+        netlist.inject(PermanentFault(site, FaultModel.STUCK_AT_0))
+        array.write(4, 0xFF)
+        assert array.read(4) == 0xFF
+
+    def test_array_bulk_load(self, netlist):
+        array = netlist.array("cache.data")
+        array.load([1, 2, 3])
+        assert [array.read(i) for i in range(3)] == [1, 2, 3]
+
+    def test_array_load_overflow_raises(self, netlist):
+        with pytest.raises(NetlistError):
+            netlist.array("cache.data").load([0] * 17)
+
+    def test_invalid_cell_index_rejected(self, netlist):
+        with pytest.raises(NetlistError):
+            netlist.site_for("cache.data", 0, index=16)
+
+    def test_array_reset_clears_data(self, netlist):
+        array = netlist.array("cache.data")
+        array.write(0, 9)
+        array.reset()
+        assert array.read(0) == 0
+
+    def test_inject_via_netlist_routes_to_array(self, netlist):
+        site = FaultSite(net="cache.data", bit=0, unit="cmem.dcache", index=1)
+        netlist.inject(PermanentFault(site, FaultModel.STUCK_AT_1))
+        assert netlist.array("cache.data").read(1) == 1
+
+
+class TestFaultModels:
+    def test_fault_model_labels(self):
+        assert FaultModel.STUCK_AT_1.label == "Stuck-at-1"
+        assert FaultModel.STUCK_AT_0.label == "Stuck-at-0"
+        assert FaultModel.OPEN_LINE.label == "Open line"
+
+    def test_describe_mentions_site_and_model(self):
+        site = FaultSite(net="alu.sum", bit=3, unit="iu.alu.adder")
+        fault = PermanentFault(site, FaultModel.STUCK_AT_0)
+        text = fault.describe()
+        assert "alu.sum" in text and "Stuck-at-0" in text and "bit3" in text

@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import encoding
+from repro.isa.assembler import assemble
+from repro.isa.ccodes import ConditionCodes, evaluate_condition, icc_add, icc_sub
+from repro.isa.decoder import decode
+from repro.isa.encoding import to_s32, to_u32
+from repro.isa.instructions import INSTRUCTION_SET
+from repro.iss.memory import Memory
+from repro.iss.trace import ExecutionTrace
+from repro.rtl.faults import FaultModel, PermanentFault
+from repro.rtl.netlist import Netlist
+from repro.rtl.sites import FaultSite
+
+words32 = st.integers(min_value=0, max_value=0xFFFFFFFF)
+registers = st.integers(min_value=0, max_value=31)
+bits32 = st.integers(min_value=0, max_value=31)
+
+
+class TestEncodingProperties:
+    @given(rd=registers, rs1=registers, rs2=registers)
+    def test_format3_register_roundtrip(self, rd, rs1, rs2):
+        word = encoding.Format3Reg(op=2, op3=0x00, rd=rd, rs1=rs1, rs2=rs2).encode()
+        fields = encoding.decode_format3(word)
+        assert (fields["rd"], fields["rs1"], fields["rs2"]) == (rd, rs1, rs2)
+
+    @given(imm=st.integers(min_value=-4096, max_value=4095))
+    def test_simm13_roundtrip(self, imm):
+        word = encoding.Format3Imm(op=2, op3=0x00, rd=1, rs1=2, simm13=imm).encode()
+        assert encoding.decode_format3(word)["simm13"] == imm
+
+    @given(disp=st.integers(min_value=-(1 << 21), max_value=(1 << 21) - 1),
+           cond=st.integers(min_value=0, max_value=15),
+           annul=st.booleans())
+    def test_branch_roundtrip(self, disp, cond, annul):
+        word = encoding.Format2Branch(cond=cond, disp22=disp, annul=annul).encode()
+        decoded = encoding.Format2Branch.decode(word)
+        assert (decoded.cond, decoded.disp22, decoded.annul) == (cond, disp, annul)
+
+    @given(value=words32)
+    def test_signed_unsigned_conversion_roundtrip(self, value):
+        assert to_u32(to_s32(value)) == value
+
+    @given(value=words32)
+    def test_decoder_never_returns_wrong_word(self, value):
+        try:
+            instruction = decode(value)
+        except Exception:
+            return
+        assert instruction.word == value
+        assert instruction.mnemonic in INSTRUCTION_SET.mnemonics
+
+
+class TestConditionCodeProperties:
+    @given(op1=words32, op2=words32)
+    def test_add_then_sub_flags_consistent_with_comparison(self, op1, op2):
+        # After `subcc op1, op2`, the signed "less than" condition must agree
+        # with Python's signed comparison.
+        result = to_u32(op1 - op2)
+        icc = icc_sub(op1, op2, result)
+        assert evaluate_condition(0x3, icc) == (to_s32(op1) < to_s32(op2))  # bl
+        assert evaluate_condition(0x1, icc) == (op1 == op2)                 # be
+
+    @given(op1=words32, op2=words32)
+    def test_unsigned_comparison_via_carry(self, op1, op2):
+        result = to_u32(op1 - op2)
+        icc = icc_sub(op1, op2, result)
+        assert evaluate_condition(0x5, icc) == (op1 < op2)   # bcs / blu
+        assert evaluate_condition(0xD, icc) == (op1 >= op2)  # bcc / bgeu
+
+    @given(op1=words32, op2=words32)
+    def test_add_carry_matches_wide_addition(self, op1, op2):
+        result = to_u32(op1 + op2)
+        icc = icc_add(op1, op2, result)
+        assert icc.c == (1 if op1 + op2 > 0xFFFFFFFF else 0)
+
+    @given(cond=st.integers(min_value=0, max_value=7),
+           n=st.integers(0, 1), z=st.integers(0, 1),
+           v=st.integers(0, 1), c=st.integers(0, 1))
+    def test_conditions_are_complementary(self, cond, n, z, v, c):
+        icc = ConditionCodes(n=n, z=z, v=v, c=c)
+        assert evaluate_condition(cond, icc) != evaluate_condition(cond | 0x8, icc)
+
+
+class TestMemoryProperties:
+    @given(address=st.integers(min_value=0, max_value=0xFFFFFFF0).map(lambda a: a & ~3),
+           value=words32)
+    def test_word_write_read_roundtrip(self, address, value):
+        memory = Memory()
+        memory.write_word(address, value)
+        assert memory.read_word(address) == value
+
+    @given(address=st.integers(min_value=0, max_value=0xFFFFFF00),
+           payload=st.binary(min_size=1, max_size=64))
+    def test_byte_block_roundtrip(self, address, payload):
+        memory = Memory()
+        memory.write_bytes(address, payload)
+        assert memory.read_bytes(address, len(payload)) == payload
+
+    @given(address=st.integers(min_value=0, max_value=0xFFFFFFF0).map(lambda a: a & ~3),
+           value=words32)
+    def test_word_is_big_endian_composition_of_bytes(self, address, value):
+        memory = Memory()
+        memory.write_word(address, value)
+        recomposed = 0
+        for offset in range(4):
+            recomposed = (recomposed << 8) | memory.read_byte(address + offset)
+        assert recomposed == value
+
+
+class TestFaultModelProperties:
+    @given(value=words32, previous=words32, bit=bits32)
+    def test_stuck_at_1_sets_exactly_one_bit(self, value, previous, bit):
+        site = FaultSite("net", bit, "iu")
+        faulted = PermanentFault(site, FaultModel.STUCK_AT_1).apply(value, previous)
+        assert faulted | (1 << bit) == faulted
+        assert faulted & ~(1 << bit) == value & ~(1 << bit)
+
+    @given(value=words32, previous=words32, bit=bits32)
+    def test_stuck_at_0_clears_exactly_one_bit(self, value, previous, bit):
+        site = FaultSite("net", bit, "iu")
+        faulted = PermanentFault(site, FaultModel.STUCK_AT_0).apply(value, previous)
+        assert faulted & (1 << bit) == 0
+        assert faulted | (1 << bit) == value | (1 << bit)
+
+    @given(value=words32, previous=words32, bit=bits32)
+    def test_open_line_copies_previous_bit(self, value, previous, bit):
+        site = FaultSite("net", bit, "iu")
+        faulted = PermanentFault(site, FaultModel.OPEN_LINE).apply(value, previous)
+        assert (faulted >> bit) & 1 == (previous >> bit) & 1
+
+    @given(value=words32, previous=words32, bit=bits32,
+           model=st.sampled_from(list(FaultModel)))
+    def test_fault_application_is_idempotent(self, value, previous, bit, model):
+        site = FaultSite("net", bit, "iu")
+        fault = PermanentFault(site, model)
+        once = fault.apply(value, previous)
+        twice = fault.apply(once, previous)
+        assert once == twice
+
+    @given(value=words32, bit=st.integers(min_value=0, max_value=15))
+    def test_netlist_drive_respects_width_and_fault(self, value, bit):
+        netlist = Netlist()
+        netlist.declare("n", 16, "iu")
+        netlist.inject(PermanentFault(netlist.site_for("n", bit), FaultModel.STUCK_AT_1))
+        observed = netlist.drive("n", value)
+        assert observed < (1 << 16)
+        assert (observed >> bit) & 1 == 1
+
+
+class TestDiversityProperties:
+    @settings(max_examples=25)
+    @given(opcodes=st.lists(st.sampled_from(["add", "sub", "sll", "ld", "st", "umul"]),
+                            min_size=1, max_size=60))
+    def test_diversity_is_permutation_invariant(self, opcodes):
+        """The paper's key property: for permanent faults the metric must not
+        depend on the order in which instructions execute."""
+        from repro.isa.encoding import Format3Imm
+        from repro.isa.instructions import INSTRUCTION_SET as table
+
+        def trace_for(sequence):
+            trace = ExecutionTrace()
+            for mnemonic in sequence:
+                defn = table.by_mnemonic(mnemonic)
+                word = Format3Imm(op=defn.op, op3=defn.op3, rd=1, rs1=1, simm13=0).encode()
+                trace.record(decode(word), 0, 0)
+            return trace
+
+        forward = trace_for(opcodes)
+        backward = trace_for(list(reversed(opcodes)))
+        assert forward.diversity == backward.diversity
+        assert forward.diversity == len(set(opcodes))
+
+    @settings(max_examples=25)
+    @given(opcodes=st.lists(st.sampled_from(["add", "sub", "sll", "ld"]),
+                            min_size=1, max_size=30),
+           extra=st.sampled_from(["umul", "sdiv", "xor"]))
+    def test_diversity_monotone_under_new_opcode(self, opcodes, extra):
+        base = len(set(opcodes))
+        extended = len(set(opcodes + [extra]))
+        assert extended >= base
+
+
+class TestAssemblerEmulatorProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(a=st.integers(min_value=0, max_value=0x7FFFFFFF),
+           b=st.integers(min_value=0, max_value=0x7FFFFFFF))
+    def test_add_program_matches_python_semantics(self, a, b):
+        from repro.iss.emulator import run_program
+
+        source = f"""
+        .text
+        set     out, %l1
+        set     {a}, %o0
+        set     {b}, %o1
+        add     %o0, %o1, %o2
+        st      %o2, [%l1]
+        ta      0
+        .data
+out:
+        .space  4
+"""
+        result = run_program(assemble(source))
+        assert result.transactions[-1].value == (a + b) & 0xFFFFFFFF
+
+    @settings(max_examples=20, deadline=None)
+    @given(a=st.integers(min_value=1, max_value=0xFFFF),
+           b=st.integers(min_value=1, max_value=0xFFFF))
+    def test_mul_div_roundtrip_property(self, a, b):
+        from repro.iss.emulator import run_program
+
+        source = f"""
+        .text
+        set     out, %l1
+        set     {a}, %o0
+        set     {b}, %o1
+        umul    %o0, %o1, %o2
+        wr      %g0, 0, %y
+        udiv    %o2, %o1, %o3
+        st      %o3, [%l1]
+        ta      0
+        .data
+out:
+        .space  4
+"""
+        result = run_program(assemble(source))
+        assert result.transactions[-1].value == a

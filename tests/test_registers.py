@@ -1,0 +1,106 @@
+"""Tests for the windowed register file (architectural model)."""
+
+import pytest
+
+from repro.isa.registers import RegisterFile, RegisterWindowError
+
+
+class TestBasicAccess:
+    def test_g0_reads_zero(self):
+        regs = RegisterFile()
+        assert regs.read(0) == 0
+
+    def test_g0_ignores_writes(self):
+        regs = RegisterFile()
+        regs.write(0, 123)
+        assert regs.read(0) == 0
+
+    def test_globals_roundtrip(self):
+        regs = RegisterFile()
+        regs.write(5, 0xDEADBEEF)
+        assert regs.read(5) == 0xDEADBEEF
+
+    def test_values_wrapped_to_32_bits(self):
+        regs = RegisterFile()
+        regs.write(1, 1 << 40)
+        assert regs.read(1) == 0
+
+    def test_out_of_range_register_raises(self):
+        regs = RegisterFile()
+        with pytest.raises(IndexError):
+            regs.read(32)
+        with pytest.raises(IndexError):
+            regs.write(-1, 0)
+
+    def test_reset_clears_everything(self):
+        regs = RegisterFile()
+        regs.write(20, 7)
+        regs.save()
+        regs.reset()
+        assert regs.read(20) == 0
+        assert regs.cwp == 0
+
+
+class TestWindows:
+    def test_outs_become_ins_after_save(self):
+        regs = RegisterFile()
+        regs.write(8, 42)  # %o0
+        regs.save()
+        assert regs.read(24) == 42  # %i0 of the new window
+
+    def test_ins_become_outs_after_restore(self):
+        regs = RegisterFile()
+        regs.save()
+        regs.write(24, 17)  # %i0
+        regs.restore()
+        assert regs.read(8) == 17  # %o0 of the caller
+
+    def test_locals_are_private_per_window(self):
+        regs = RegisterFile()
+        regs.write(16, 5)  # %l0
+        regs.save()
+        assert regs.read(16) == 0
+        regs.write(16, 9)
+        regs.restore()
+        assert regs.read(16) == 5
+
+    def test_globals_shared_across_windows(self):
+        regs = RegisterFile()
+        regs.write(1, 11)
+        regs.save()
+        assert regs.read(1) == 11
+
+    def test_window_overflow_raises(self):
+        regs = RegisterFile(nwindows=4)
+        for _ in range(3):
+            regs.save()
+        with pytest.raises(RegisterWindowError):
+            regs.save()
+
+    def test_window_underflow_raises(self):
+        regs = RegisterFile()
+        with pytest.raises(RegisterWindowError):
+            regs.restore()
+
+    def test_nested_save_restore_depth(self):
+        regs = RegisterFile()
+        values = [100, 200, 300]
+        for depth, value in enumerate(values):
+            regs.write(16, value)
+            regs.save()
+        for value in reversed(values):
+            regs.restore()
+            assert regs.read(16) == value
+
+    def test_minimum_window_count_enforced(self):
+        with pytest.raises(ValueError):
+            RegisterFile(nwindows=1)
+
+    def test_snapshot_contains_visible_state(self):
+        regs = RegisterFile()
+        regs.write(1, 3)
+        regs.write(8, 4)
+        snap = regs.snapshot()
+        assert snap["globals"][1] == 3
+        assert snap["window"][0] == 4
+        assert snap["cwp"] == 0

@@ -1,0 +1,100 @@
+"""Tests for fault-site enumeration and sampling."""
+
+import pytest
+
+from repro.rtl.sites import FaultSite, SiteUniverse, sites_per_unit
+
+
+@pytest.fixture
+def universe():
+    u = SiteUniverse()
+    u.add_net("iu.a", 8, "iu.alu.adder")
+    u.add_net("iu.b", 4, "iu.decode")
+    u.add_array("cmem.data", 16, 10, "cmem.dcache")
+    return u
+
+
+class TestCounting:
+    def test_total_count(self, universe):
+        assert universe.count() == 8 + 4 + 160
+
+    def test_scoped_count(self, universe):
+        assert universe.count(["iu"]) == 12
+        assert universe.count(["cmem"]) == 160
+
+    def test_nested_scope_prefix(self, universe):
+        assert universe.count(["iu.alu"]) == 8
+        assert universe.count(["iu.alu.adder"]) == 8
+
+    def test_prefix_must_match_path_component(self, universe):
+        # "iu.a" is a net name, not a unit: the unit of that net is iu.alu.adder,
+        # and the filter "iu.al" must not match it by raw string prefix.
+        assert universe.count(["iu.al"]) == 0
+
+    def test_count_by_unit(self, universe):
+        counts = universe.count_by_unit()
+        assert counts["iu.alu.adder"] == 8
+        assert counts["cmem.dcache"] == 160
+
+    def test_units_listing(self, universe):
+        assert set(universe.units()) == {"iu.alu.adder", "iu.decode", "cmem.dcache"}
+
+    def test_sites_per_unit_helper(self, universe):
+        assert sites_per_unit(universe, ["iu", "cmem"]) == {"iu": 12, "cmem": 160}
+
+
+class TestEnumeration:
+    def test_iter_sites_complete(self, universe):
+        sites = list(universe.iter_sites(["iu"]))
+        assert len(sites) == 12
+        assert all(isinstance(site, FaultSite) for site in sites)
+
+    def test_net_sites_have_no_index(self, universe):
+        sites = list(universe.iter_sites(["iu.decode"]))
+        assert all(site.index is None for site in sites)
+        assert {site.bit for site in sites} == set(range(4))
+
+    def test_array_sites_carry_cell_index(self, universe):
+        sites = list(universe.iter_sites(["cmem"]))
+        assert {site.index for site in sites} == set(range(10))
+        assert all(0 <= site.bit < 16 for site in sites)
+
+    def test_describe_format(self):
+        assert FaultSite("n", 3, "iu").describe() == "n.bit3 (iu)"
+        assert FaultSite("a", 1, "cmem", index=4).describe() == "a[4].bit1 (cmem)"
+
+
+class TestSampling:
+    def test_sample_is_reproducible_with_seed(self, universe):
+        first = universe.sample(20, seed=42)
+        second = universe.sample(20, seed=42)
+        assert first == second
+
+    def test_sample_respects_scope(self, universe):
+        sites = universe.sample(10, units=["cmem"], seed=1)
+        assert all(site.unit == "cmem.dcache" for site in sites)
+
+    def test_sample_size_honoured(self, universe):
+        assert len(universe.sample(25, seed=7)) == 25
+
+    def test_sample_without_replacement(self, universe):
+        sites = universe.sample(50, seed=3)
+        assert len(set(sites)) == 50
+
+    def test_oversampling_returns_full_population(self, universe):
+        sites = universe.sample(10_000, units=["iu"], seed=5)
+        assert len(sites) == 12
+
+    def test_sample_from_empty_scope(self, universe):
+        assert universe.sample(5, units=["fpu"], seed=0) == []
+
+    def test_different_seeds_differ(self, universe):
+        assert universe.sample(30, seed=1) != universe.sample(30, seed=2)
+
+    def test_merge_combines_universes(self):
+        first = SiteUniverse()
+        first.add_net("a", 2, "iu")
+        second = SiteUniverse()
+        second.add_net("b", 3, "cmem")
+        merged = first.merge(second)
+        assert merged.count() == 5

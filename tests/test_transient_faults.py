@@ -1,0 +1,127 @@
+"""Tests for the transient (SEU-like) fault extension.
+
+The paper restricts its study to permanent faults and leaves transients as
+future work; the framework nevertheless supports them so that such campaigns
+can be scripted.  These tests pin down the extension's semantics: a transient
+is only active inside its cycle window, and its impact depends on *when* it
+hits — precisely the property that makes transient campaigns so much more
+expensive, as the paper argues.
+"""
+
+import pytest
+
+from repro.isa.assembler import assemble
+from repro.leon3.core import Leon3Core, run_program_rtl
+from repro.rtl.faults import FaultModel, PermanentFault, TransientFault
+from repro.rtl.netlist import Netlist
+
+PROGRAM = """
+        .text
+        set     out, %l1
+        mov     3, %o0
+loop:
+        add     %o0, 5, %o1
+        st      %o1, [%l1]
+        subcc   %o0, 1, %o0
+        bg      loop
+        nop
+        ta      0
+        .data
+out:
+        .space  8
+"""
+
+
+class TestTransientFaultModel:
+    def test_active_only_inside_window(self):
+        from repro.rtl.sites import FaultSite
+
+        fault = TransientFault(FaultSite("n", 0, "iu"), start_cycle=10, duration=5)
+        assert not fault.active_at(9)
+        assert fault.active_at(10)
+        assert fault.active_at(14)
+        assert not fault.active_at(15)
+
+    def test_apply_flips_the_bit(self):
+        from repro.rtl.sites import FaultSite
+
+        fault = TransientFault(FaultSite("n", 3, "iu"), start_cycle=0)
+        assert fault.apply(0, 0) == 8
+        assert fault.apply(8, 0) == 0
+
+    def test_validation(self):
+        from repro.rtl.sites import FaultSite
+
+        with pytest.raises(ValueError):
+            TransientFault(FaultSite("n", 0, "iu"), start_cycle=-1)
+        with pytest.raises(ValueError):
+            TransientFault(FaultSite("n", 0, "iu"), start_cycle=0, duration=0)
+
+    def test_permanent_faults_are_always_active(self):
+        from repro.rtl.sites import FaultSite
+
+        fault = PermanentFault(FaultSite("n", 0, "iu"), FaultModel.STUCK_AT_1)
+        assert fault.active_at(0) and fault.active_at(10**9)
+
+    def test_describe_mentions_window(self):
+        from repro.rtl.sites import FaultSite
+
+        fault = TransientFault(FaultSite("n", 1, "iu"), start_cycle=7, duration=2)
+        assert "[7, 9)" in fault.describe()
+
+
+class TestTransientOnNetlist:
+    def test_netlist_honours_cycle_window(self):
+        netlist = Netlist()
+        netlist.declare("sig", 8, "iu")
+        netlist.inject(TransientFault(netlist.site_for("sig", 0), start_cycle=5, duration=1))
+        netlist.cycle = 0
+        assert netlist.drive("sig", 0) == 0
+        netlist.cycle = 5
+        assert netlist.drive("sig", 0) == 1
+        netlist.cycle = 6
+        assert netlist.drive("sig", 0) == 0
+
+    def test_reset_state_rewinds_cycle(self):
+        netlist = Netlist()
+        netlist.declare("sig", 8, "iu")
+        netlist.cycle = 100
+        netlist.reset_state()
+        assert netlist.cycle == 0
+
+
+class TestTransientOnCore:
+    def test_transient_outside_execution_window_is_masked(self):
+        program = assemble(PROGRAM, name="transient")
+        golden = run_program_rtl(program)
+        core = Leon3Core()
+        core.load_program(program)
+        fault = TransientFault(
+            core.netlist.site_for("alu.adder.sum", 0),
+            start_cycle=golden.cycles + 1000,
+        )
+        core.inject([fault])
+        faulty = core.run(max_instructions=golden.instructions * 2 + 100)
+        assert len(faulty.transactions) == len(golden.transactions)
+        assert all(a.matches(b) for a, b in zip(golden.transactions, faulty.transactions))
+
+    def test_transient_during_execution_can_corrupt_a_store(self):
+        program = assemble(PROGRAM, name="transient")
+        golden = run_program_rtl(program)
+        # Sweep the whole execution with a long window to guarantee a hit on
+        # the store data path, which every stored value flows through.
+        core = Leon3Core()
+        core.load_program(program)
+        fault = TransientFault(
+            core.netlist.site_for("iu.lsu.wdata", 0),
+            start_cycle=0,
+            duration=golden.cycles + 1,
+        )
+        core.inject([fault])
+        faulty = core.run(max_instructions=golden.instructions * 2 + 100)
+        mismatches = [
+            (a.value, b.value)
+            for a, b in zip(golden.transactions, faulty.transactions)
+            if not a.matches(b)
+        ]
+        assert mismatches, "a window covering the whole run must corrupt at least one store"

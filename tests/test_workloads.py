@@ -1,0 +1,177 @@
+"""Tests for the workload suite (EEMBC-like kernels, synthetic, excerpts)."""
+
+import pytest
+
+from repro.iss.emulator import run_program
+from repro.leon3.core import run_program_rtl
+from repro.workloads import (
+    AUTOMOTIVE_WORKLOADS,
+    EXCERPT_WORKLOADS,
+    SYNTHETIC_WORKLOADS,
+    all_workloads,
+    build_program,
+    get_workload,
+    table1_workloads,
+)
+from repro.workloads.builder import lcg_values
+from repro.workloads.excerpts import SUBSET_A_MEMBERS, SUBSET_B_MEMBERS
+
+AUTOMOTIVE_NAMES = sorted(AUTOMOTIVE_WORKLOADS)
+SYNTHETIC_NAMES = sorted(SYNTHETIC_WORKLOADS)
+
+
+class TestRegistry:
+    def test_all_workloads_combines_categories(self):
+        names = set(all_workloads())
+        assert set(AUTOMOTIVE_WORKLOADS) <= names
+        assert set(SYNTHETIC_WORKLOADS) <= names
+        assert set(EXCERPT_WORKLOADS) <= names
+
+    def test_table1_selection_matches_paper(self):
+        assert list(table1_workloads()) == [
+            "puwmod", "canrdr", "ttsprk", "rspeed", "membench", "intbench",
+        ]
+
+    def test_get_workload_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("doom3")
+
+    def test_build_program_returns_named_program(self):
+        program = build_program("rspeed")
+        assert program.name == "rspeed"
+        assert program.size_words > 0
+
+    def test_full_size_builds_more_work(self):
+        small = build_program("rspeed")
+        large = build_program("rspeed", full_size=True)
+        # Same static code, the iteration count differs.
+        assert small.size_words == large.size_words
+
+
+class TestDeterministicData:
+    def test_lcg_reproducible(self):
+        assert lcg_values(10, seed=5) == lcg_values(10, seed=5)
+
+    def test_lcg_depends_on_seed(self):
+        assert lcg_values(10, seed=5) != lcg_values(10, seed=6)
+
+    def test_lcg_respects_modulus(self):
+        assert all(0 <= v < 100 for v in lcg_values(50, seed=1, modulus=100))
+
+    def test_same_workload_build_is_deterministic(self):
+        first = build_program("puwmod")
+        second = build_program("puwmod")
+        assert first.text == second.text
+        assert first.data == second.data
+
+    def test_dataset_changes_data_not_code(self):
+        base = build_program("rspeed", dataset=0)
+        other = build_program("rspeed", dataset=3)
+        assert base.text == other.text
+        assert base.data != other.data
+
+
+@pytest.mark.parametrize("name", AUTOMOTIVE_NAMES)
+class TestAutomotiveKernels:
+    def test_terminates_normally_on_iss(self, name):
+        result = run_program(build_program(name), max_instructions=1_000_000)
+        assert result.normal_exit, f"{name} did not exit cleanly"
+
+    def test_produces_off_core_activity(self, name):
+        result = run_program(build_program(name), max_instructions=1_000_000)
+        assert len(result.transactions) > 10
+
+    def test_diversity_in_automotive_band(self, name):
+        result = run_program(build_program(name), max_instructions=1_000_000)
+        assert 45 <= result.trace.diversity <= 60
+
+
+@pytest.mark.parametrize("name", SYNTHETIC_NAMES)
+class TestSyntheticKernels:
+    def test_terminates_normally_on_iss(self, name):
+        result = run_program(build_program(name), max_instructions=1_000_000)
+        assert result.normal_exit
+
+    def test_diversity_in_synthetic_band(self, name):
+        result = run_program(build_program(name), max_instructions=1_000_000)
+        assert 12 <= result.trace.diversity <= 25
+
+
+class TestWorkloadProperties:
+    def test_membench_is_memory_dominated(self):
+        result = run_program(build_program("membench"), max_instructions=1_000_000)
+        memory_fraction = result.trace.memory_instructions / result.trace.total_instructions
+        assert memory_fraction > 0.2
+
+    def test_intbench_has_negligible_memory_traffic(self):
+        result = run_program(build_program("intbench"), max_instructions=1_000_000)
+        memory_fraction = result.trace.memory_instructions / result.trace.total_instructions
+        assert memory_fraction < 0.02
+
+    def test_iterations_scale_instruction_count(self):
+        one = run_program(build_program("rspeed", iterations=1), max_instructions=1_000_000)
+        three = run_program(build_program("rspeed", iterations=3), max_instructions=1_000_000)
+        assert three.instructions > 2 * one.instructions
+
+    def test_iterations_do_not_change_diversity(self):
+        one = run_program(build_program("rspeed", iterations=1), max_instructions=1_000_000)
+        four = run_program(build_program("rspeed", iterations=4), max_instructions=1_000_000)
+        assert one.trace.diversity == four.trace.diversity
+
+    def test_automotive_diversity_exceeds_synthetic(self):
+        automotive = run_program(build_program("ttsprk"), max_instructions=1_000_000)
+        synthetic = run_program(build_program("membench"), max_instructions=1_000_000)
+        assert automotive.trace.diversity > synthetic.trace.diversity
+
+    def test_input_data_changes_results_not_flow(self):
+        base = run_program(build_program("tblook", dataset=0), max_instructions=1_000_000)
+        variant = run_program(build_program("tblook", dataset=5), max_instructions=1_000_000)
+        assert base.normal_exit and variant.normal_exit
+        assert base.trace.diversity == variant.trace.diversity
+
+
+class TestExcerpts:
+    def test_subset_members_are_registered(self):
+        for member in list(SUBSET_A_MEMBERS) + list(SUBSET_B_MEMBERS):
+            assert f"excerpt_{member}" in EXCERPT_WORKLOADS
+
+    def test_subset_a_has_8_instruction_types(self):
+        for member in SUBSET_A_MEMBERS:
+            result = run_program(build_program(f"excerpt_{member}"))
+            assert result.normal_exit
+            assert result.trace.diversity == 8
+
+    def test_subset_b_has_11_instruction_types(self):
+        for member in SUBSET_B_MEMBERS:
+            result = run_program(build_program(f"excerpt_{member}"))
+            assert result.normal_exit
+            assert result.trace.diversity == 11
+
+    def test_members_share_code_but_not_data(self):
+        members = list(SUBSET_A_MEMBERS)
+        first = build_program(f"excerpt_{members[0]}")
+        second = build_program(f"excerpt_{members[1]}")
+        assert first.text == second.text
+        assert first.data != second.data
+
+    def test_excerpt_off_core_activity_differs_with_data(self):
+        members = list(SUBSET_A_MEMBERS)
+        first = run_program(build_program(f"excerpt_{members[0]}"))
+        second = run_program(build_program(f"excerpt_{members[1]}"))
+        first_values = [t.value for t in first.transactions]
+        second_values = [t.value for t in second.transactions]
+        assert first_values != second_values
+
+
+class TestRtlEquivalence:
+    """The structural model must agree with the ISS on every workload."""
+
+    @pytest.mark.parametrize("name", ["canrdr", "rspeed", "membench", "intbench",
+                                      "excerpt_a2time", "excerpt_rspeed"])
+    def test_workload_matches_on_both_simulators(self, name):
+        program = build_program(name)
+        iss = run_program(program, max_instructions=1_000_000)
+        rtl = run_program_rtl(program, max_instructions=1_000_000)
+        assert iss.normal_exit and rtl.normal_exit
+        assert len(iss.transactions) == len(rtl.transactions)
+        assert all(a.matches(b) for a, b in zip(iss.transactions, rtl.transactions))
