@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Campaign throughput: injections/second, serial vs. parallel scheduler.
+
+Runs the same engine campaign twice — once on the serial scheduler, once on a
+``multiprocessing`` pool — and reports the sustained injection throughput of
+each, plus the end-to-end speed-up.  The two runs are verified to produce
+identical ``Pf`` breakdowns before any number is reported (a wrong-but-fast
+scheduler is worthless).
+
+Writes/updates a ``BENCH_campaign_throughput.json`` baseline next to the repo
+root so CI and future optimisation PRs can track the trend:
+
+    python benchmarks/bench_campaign_throughput.py --sites 40 --workers 4
+    python benchmarks/bench_campaign_throughput.py --no-write   # measure only
+
+Note that the parallel figure only improves on the serial one when the
+machine actually has spare cores; the baseline records ``cpu_count`` so
+numbers from different machines are not compared blindly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.engine import CampaignConfig, CampaignEngine  # noqa: E402
+from repro.rtl.faults import ALL_FAULT_MODELS  # noqa: E402
+from repro.workloads import build_program  # noqa: E402
+
+BASELINE_PATH = Path(__file__).resolve().parents[1] / "BENCH_campaign_throughput.json"
+
+
+def run_campaign(program, args, n_workers: int):
+    config = CampaignConfig(
+        unit_scope=args.scope,
+        sample_size=args.sites,
+        fault_models=list(ALL_FAULT_MODELS),
+        seed=args.seed,
+        n_workers=n_workers,
+    )
+    engine = CampaignEngine(program, config)
+    engine.golden_run()  # exclude one-time planning cost from the timed section
+    start = time.perf_counter()
+    results = engine.run()
+    elapsed = time.perf_counter() - start
+    injections = sum(result.injections for result in results.values())
+    return results, injections, elapsed
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workload", default="rspeed")
+    parser.add_argument("--scope", default="iu", choices=["iu", "cmem"])
+    parser.add_argument("--sites", type=int, default=40,
+                        help="fault sites sampled per campaign (default: 40)")
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument("--workers", type=int, default=max(2, os.cpu_count() or 2),
+                        help="workers for the parallel run (default: cpu count, min 2)")
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure and print only; do not update the baseline file")
+    args = parser.parse_args()
+
+    program = build_program(args.workload)
+    print(f"Campaign: {args.workload!r}, scope {args.scope!r}, "
+          f"{args.sites} sites x {len(ALL_FAULT_MODELS)} fault models")
+
+    serial_results, injections, serial_s = run_campaign(program, args, n_workers=1)
+    serial_rate = injections / serial_s
+    print(f"  serial             : {injections} injections in {serial_s:6.1f}s "
+          f"-> {serial_rate:6.2f} inj/s")
+
+    parallel_results, _, parallel_s = run_campaign(program, args, args.workers)
+    parallel_rate = injections / parallel_s
+    print(f"  {args.workers}-worker pool      : {injections} injections in "
+          f"{parallel_s:6.1f}s -> {parallel_rate:6.2f} inj/s")
+    print(f"  speedup            : {serial_s / parallel_s:4.2f}x "
+          f"(on {os.cpu_count()} CPU(s))")
+
+    for model in serial_results:
+        serial_pf = serial_results[model].failure_probability
+        parallel_pf = parallel_results[model].failure_probability
+        if serial_results[model].outcomes != parallel_results[model].outcomes:
+            print(f"ERROR: scheduler results diverge for {model.value}: "
+                  f"Pf {serial_pf} vs {parallel_pf}")
+            return 1
+    print("  schedulers agree   : bit-identical outcomes for every fault model")
+
+    baseline = {
+        "benchmark": "campaign_throughput",
+        "workload": args.workload,
+        "unit_scope": args.scope,
+        "sample_size": args.sites,
+        "fault_models": len(ALL_FAULT_MODELS),
+        "injections": injections,
+        "seed": args.seed,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "serial": {
+            "seconds": round(serial_s, 3),
+            "injections_per_second": round(serial_rate, 3),
+        },
+        "parallel": {
+            "n_workers": args.workers,
+            "seconds": round(parallel_s, 3),
+            "injections_per_second": round(parallel_rate, 3),
+        },
+        "speedup": round(serial_s / parallel_s, 3),
+    }
+    if args.no_write:
+        print(json.dumps(baseline, indent=2))
+    else:
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"  baseline written   : {BASELINE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,8 +13,9 @@ The script:
    workload that was *not* part of the calibration set, from its ISS trace
    alone.
 
-Run with:  python examples/iss_vs_rtl_correlation.py --sites 60
-(larger --sites values reduce sampling noise and take proportionally longer).
+Run with:  python examples/iss_vs_rtl_correlation.py --sites 60 --workers 4
+(larger --sites values reduce sampling noise and take proportionally longer;
+``--workers`` parallelises the RTL campaigns without changing their results).
 """
 
 import argparse
@@ -36,11 +37,15 @@ def main() -> None:
     parser.add_argument("--seed", type=int, default=2015, help="sampling seed")
     parser.add_argument("--holdout", default="tblook",
                         help="workload kept out of calibration and predicted from its ISS trace")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the RTL campaigns (default: 1)")
     args = parser.parse_args()
 
     # --- 1-3: the Figure 7 correlation over the Table 1 workloads + excerpts --
     print(f"Running the Figure 7 correlation ({args.sites} sites per campaign)...\n")
-    result = figure7_correlation(sample_size=args.sites, seed=args.seed)
+    result = figure7_correlation(
+        sample_size=args.sites, seed=args.seed, n_workers=args.workers
+    )
     print(render_correlation(result))
 
     # --- 4: predict a held-out workload from its ISS trace --------------------
@@ -58,7 +63,7 @@ def main() -> None:
 
     campaign = run_iu_campaign(
         holdout_program, sample_size=args.sites, fault_models=[FaultModel.STUCK_AT_1],
-        seed=args.seed,
+        seed=args.seed, n_workers=args.workers,
     )[FaultModel.STUCK_AT_1]
     print(f"  measured Pf from an RTL campaign                  : "
           f"{campaign.failure_probability * 100:.1f}%")

@@ -1,23 +1,25 @@
 #!/usr/bin/env python3
-"""Quickstart: assemble a program, run it on the ISS and on the RTL model,
-inject a fault, and observe the off-core mismatch.
+"""Quickstart: one program, two execution backends, one fault injection.
 
 This walks through the complete tool flow of the framework in a couple of
-dozen lines:
+dozen lines, using the unified :mod:`repro.engine` API:
 
 1. write a small SPARCv8 program and assemble it,
-2. execute it on the ISS (functional emulator) and look at its trace,
-3. execute it on the structural Leon3 model and check both agree,
-4. inject one permanent stuck-at fault into the integer unit and compare the
-   off-core activity against the golden run — the paper's failure criterion.
+2. execute it on the :class:`IssBackend` (functional emulator) and look at
+   its trace,
+3. execute the *same prepared program* on the :class:`Leon3RtlBackend`
+   (structural model) and check both backends agree at the off-core boundary,
+4. inject one permanent stuck-at fault through ``backend.run(faults=...)``
+   and compare against the golden run — the paper's failure criterion,
+5. run a miniature :class:`CampaignEngine` campaign (site sample x fault
+   models) with a progress callback, the way the figure experiments do.
 
 Run with:  python examples/quickstart.py
 """
 
+from repro.engine import CampaignConfig, CampaignEngine, IssBackend, Leon3RtlBackend
 from repro.faultinjection.comparison import compare_runs
 from repro.isa.assembler import assemble
-from repro.iss.emulator import run_program
-from repro.leon3.core import Leon3Core, run_program_rtl
 from repro.rtl.faults import FaultModel, PermanentFault
 
 SOURCE = """
@@ -47,36 +49,55 @@ output:
 def main() -> None:
     program = assemble(SOURCE, name="quickstart")
 
-    # --- 1. ISS execution --------------------------------------------------
-    iss = run_program(program)
-    print("ISS run")
-    print(f"  exited normally : {iss.normal_exit}")
-    print(f"  instructions    : {iss.instructions}")
-    print(f"  diversity       : {iss.trace.diversity} distinct opcodes")
-    print(f"  off-core writes : {[(hex(t.address), t.value) for t in iss.transactions]}")
+    # --- 1. ISS execution through the backend API --------------------------
+    iss = IssBackend()
+    iss.prepare(program)
+    iss_run = iss.run(max_instructions=100_000)
+    print("ISS backend run")
+    print(f"  exited normally : {iss_run.normal_exit}")
+    print(f"  instructions    : {iss_run.instructions}")
+    print(f"  diversity       : {iss_run.trace.diversity} distinct opcodes")
+    print(f"  off-core writes : {[(hex(t.address), t.value) for t in iss_run.transactions]}")
 
-    # --- 2. Structural RTL execution ---------------------------------------
-    rtl = run_program_rtl(program)
-    matches = all(a.matches(b) for a, b in zip(iss.transactions, rtl.transactions))
-    print("\nStructural Leon3 run")
-    print(f"  instructions    : {rtl.instructions}")
-    print(f"  icache misses   : {rtl.icache_misses}, dcache misses: {rtl.dcache_misses}")
-    print(f"  matches the ISS : {matches and len(iss.transactions) == len(rtl.transactions)}")
+    # --- 2. Structural RTL execution, same API -----------------------------
+    rtl = Leon3RtlBackend()
+    rtl.prepare(program)
+    rtl_run = rtl.run(max_instructions=100_000)
+    matches = (
+        len(iss_run.transactions) == len(rtl_run.transactions)
+        and all(a.matches(b) for a, b in zip(iss_run.transactions, rtl_run.transactions))
+    )
+    print("\nRTL backend run (structural Leon3)")
+    print(f"  instructions    : {rtl_run.instructions}")
+    print(f"  matches the ISS : {matches}")
 
     # --- 3. Inject a permanent fault in the adder ---------------------------
-    core = Leon3Core()
-    core.load_program(program)
-    site = core.netlist.site_for("alu.adder.sum", 0)   # bit 0 of the ALU adder output
-    core.inject([PermanentFault(site, FaultModel.STUCK_AT_1)])
-    faulty = core.run(max_instructions=rtl.instructions * 2 + 100)
-
-    comparison = compare_runs(rtl, faulty)
+    site = rtl.core.netlist.site_for("alu.adder.sum", 0)   # bit 0 of the ALU adder output
+    faulty = rtl.run(
+        max_instructions=rtl_run.instructions * 2 + 100,
+        faults=[PermanentFault(site, FaultModel.STUCK_AT_1)],
+    )
+    comparison = compare_runs(rtl_run, faulty)
     print("\nFaulty run (stuck-at-1 on the adder output, bit 0)")
     print(f"  off-core writes : {[(hex(t.address), t.value) for t in faulty.transactions]}")
     print(f"  classification  : {comparison.failure_class.value}")
     print(f"  is a failure    : {comparison.is_failure}")
-    print("\nA light-lockstep comparator at the off-core boundary flags any such "
-          "divergence as a failure, exactly as in the paper's RTL campaigns.")
+
+    # --- 4. A miniature campaign through the engine -------------------------
+    config = CampaignConfig(unit_scope="iu", sample_size=20, seed=2015)
+    engine = CampaignEngine(program, config, backend_factory=Leon3RtlBackend)
+    print("\nMini campaign: 20 IU sites x 3 permanent fault models")
+    results = engine.run(
+        progress=lambda done, total, outcome: print(
+            f"\r  {done}/{total} injections", end="", flush=True
+        )
+    )
+    print()
+    for model, result in results.items():
+        print(f"  {model.label:<12}: Pf = {result.failure_probability * 100:5.1f}% "
+              f"({result.failures}/{result.injections} failures)")
+    print("\nSet CampaignConfig(n_workers=N) to fan the same jobs out to a "
+          "process pool — results are bit-identical to the serial run.")
 
 
 if __name__ == "__main__":

@@ -4,15 +4,17 @@
 This reproduces one bar group of Figure 5/6 for a chosen workload: faults are
 sampled from the integer unit (or the cache memory), injected one at a time
 for each permanent fault model, and classified by comparing the off-core
-activity against the golden run.
+activity against the golden run.  The campaign is planned and executed by the
+:mod:`repro.engine` layer; ``--workers N`` fans the injection jobs out to a
+multiprocessing pool (results are bit-identical to the serial run).
 
-Run with:  python examples/rtl_fault_campaign.py --workload rspeed --scope iu --sites 60
+Run with:  python examples/rtl_fault_campaign.py --workload rspeed --scope iu --sites 60 --workers 4
 """
 
 import argparse
 
 from repro.core.report import format_table
-from repro.faultinjection.campaign import CampaignConfig, FaultInjectionCampaign
+from repro.engine import CampaignConfig, CampaignEngine
 from repro.rtl.faults import ALL_FAULT_MODELS
 from repro.workloads import all_workloads, build_program
 
@@ -26,6 +28,8 @@ def main() -> None:
     parser.add_argument("--sites", type=int, default=60,
                         help="number of fault sites to sample (default: 60)")
     parser.add_argument("--seed", type=int, default=2015, help="sampling seed")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the injection jobs (default: 1)")
     args = parser.parse_args()
 
     program = build_program(args.workload)
@@ -34,16 +38,23 @@ def main() -> None:
         sample_size=args.sites,
         fault_models=list(ALL_FAULT_MODELS),
         seed=args.seed,
+        n_workers=args.workers,
     )
-    campaign = FaultInjectionCampaign(program, config)
+    engine = CampaignEngine(program, config)
 
-    golden = campaign.injector.golden_run()
+    golden = engine.golden_run()
     print(f"Golden run of {args.workload!r}: {golden.instructions} instructions, "
           f"{len(golden.transactions)} off-core transactions")
+    scheduler = "serial" if args.workers <= 1 else f"{args.workers}-worker pool"
     print(f"Injecting {args.sites} sites x {len(ALL_FAULT_MODELS)} fault models "
-          f"into scope {args.scope!r} ...\n")
+          f"into scope {args.scope!r} ({scheduler}) ...\n")
 
-    results = campaign.run()
+    results = engine.run(
+        progress=lambda done, total, outcome: print(
+            f"\r  {done}/{total} injections", end="", flush=True
+        )
+    )
+    print()
 
     rows = []
     for model, result in results.items():

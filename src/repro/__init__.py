@@ -13,6 +13,10 @@ The package provides:
 * :mod:`repro.rtl` / :mod:`repro.leon3` — a structural, net-accurate Leon3-like
   microcontroller model (7-stage integer unit and cache memory) on top of a
   small RTL-style simulation substrate with per-bit fault sites.
+* :mod:`repro.engine` — the campaign execution engine: a uniform
+  :class:`ExecutionBackend` API over both simulators, picklable injection
+  jobs, and pluggable serial/multiprocessing schedulers with per-worker
+  golden-run caching.
 * :mod:`repro.faultinjection` — permanent-fault (stuck-at-0/1, open-line)
   injection campaigns with off-core-boundary failure detection.
 * :mod:`repro.workloads` — EEMBC-AutoBench-like automotive kernels and

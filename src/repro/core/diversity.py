@@ -15,12 +15,11 @@ Equation 1.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional
 
+from repro.engine.backend import ExecutionBackend, IssBackend
 from repro.isa.assembler import Program
 from repro.isa.instructions import INSTRUCTION_SET, FunctionalUnit
-from repro.iss.emulator import Emulator, ExecutionResult
-from repro.iss.memory import Memory
 from repro.iss.trace import ExecutionTrace
 
 
@@ -78,19 +77,28 @@ def characterize_program(
     program: Program,
     name: Optional[str] = None,
     max_instructions: int = 2_000_000,
+    backend_factory: Callable[[], ExecutionBackend] = IssBackend,
 ) -> WorkloadCharacterization:
-    """Run *program* on the ISS and characterise it (Table 1 style).
+    """Run *program* on the ISS backend and characterise it (Table 1 style).
 
     This is exactly the paper's flow: the ISS functional emulator decodes and
     executes the application, and the characterisation is derived from the
-    decoded instruction stream — no RTL information is needed.
+    decoded instruction stream — no RTL information is needed.  The run goes
+    through the uniform :class:`~repro.engine.backend.ExecutionBackend` API,
+    so the same fault-free job could be replayed on any other backend.
     """
-    emulator = Emulator(memory=Memory())
-    emulator.load_program(program)
-    result: ExecutionResult = emulator.run(max_instructions=max_instructions)
+    backend = backend_factory()
+    backend.prepare(program)
+    result = backend.run(max_instructions=max_instructions)
     if not result.normal_exit:
-        kind = result.trap.kind if result.trap else "no exit"
+        if result.trap_kind is not None:
+            reason = result.trap_kind
+        elif not result.halted:
+            reason = f"instruction budget of {max_instructions} exhausted"
+        else:
+            reason = "no exit code"
         raise RuntimeError(
-            f"workload {program.name!r} did not terminate normally on the ISS ({kind})"
+            f"workload {program.name!r} did not terminate normally on the ISS "
+            f"({reason})"
         )
     return characterize_trace(name or program.name, result.trace)

@@ -17,21 +17,27 @@ Function                  Paper element
 The drivers accept a sample size (fault sites per campaign) so callers can
 trade accuracy against runtime; the benchmark harness uses modest defaults
 that complete in minutes, while larger values approach the exhaustive
-campaigns of the paper.
+campaigns of the paper.  Every campaign goes through the unified
+:mod:`repro.engine` layer, so ``n_workers`` transparently fans the injection
+jobs out to a multiprocessing pool with results bit-identical to a serial
+run (same seed, same jobs — only faster).
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.correlation import CorrelationPoint, CorrelationResult, correlate
 from repro.core.diversity import WorkloadCharacterization, characterize_program
-from repro.faultinjection.campaign import CampaignConfig, FaultInjectionCampaign
+from repro.engine import (
+    CampaignConfig,
+    CampaignEngine,
+    IssBackend,
+    Leon3RtlBackend,
+    reference_run_seconds,
+)
 from repro.faultinjection.results import CampaignResult
-from repro.iss.emulator import Emulator
-from repro.iss.memory import Memory
 from repro.leon3.units import CMEM_SCOPE, IU_SCOPE
 from repro.rtl.faults import ALL_FAULT_MODELS, FaultModel
 from repro.workloads import build_program, get_workload
@@ -79,15 +85,18 @@ def _run_campaign(
     seed: int,
     iterations: Optional[int] = None,
     dataset: int = 0,
+    n_workers: int = 1,
 ) -> Dict[FaultModel, CampaignResult]:
+    """Run one engine campaign: RTL backend, shared golden run and site sample."""
     program = build_program(workload, iterations=iterations, dataset=dataset)
     config = CampaignConfig(
         unit_scope=unit_scope,
         sample_size=sample_size,
         fault_models=list(fault_models),
         seed=seed,
+        n_workers=n_workers,
     )
-    return FaultInjectionCampaign(program, config).run()
+    return CampaignEngine(program, config, backend_factory=Leon3RtlBackend).run()
 
 
 # ---------------------------------------------------------------------------
@@ -121,6 +130,7 @@ class InputDataExperiment:
 def figure3_input_data(
     sample_size: int = DEFAULT_SAMPLE_SIZE,
     seed: int = DEFAULT_SEED,
+    n_workers: int = 1,
 ) -> InputDataExperiment:
     """Input-data-variation experiment (Figure 3).
 
@@ -131,12 +141,14 @@ def figure3_input_data(
     experiment = InputDataExperiment(injections_per_member=sample_size)
     for member in SUBSET_A_MEMBERS:
         results = _run_campaign(
-            f"excerpt_{member}", IU_SCOPE, [FaultModel.STUCK_AT_1], sample_size, seed
+            f"excerpt_{member}", IU_SCOPE, [FaultModel.STUCK_AT_1], sample_size, seed,
+            n_workers=n_workers,
         )
         experiment.subset_a[member] = results[FaultModel.STUCK_AT_1].failure_probability
     for member in SUBSET_B_MEMBERS:
         results = _run_campaign(
-            f"excerpt_{member}", IU_SCOPE, [FaultModel.STUCK_AT_1], sample_size, seed
+            f"excerpt_{member}", IU_SCOPE, [FaultModel.STUCK_AT_1], sample_size, seed,
+            n_workers=n_workers,
         )
         experiment.subset_b[member] = results[FaultModel.STUCK_AT_1].failure_probability
     return experiment
@@ -162,13 +174,14 @@ def figure4_iterations(
     workload: str = "rspeed",
     sample_size: int = DEFAULT_SAMPLE_SIZE,
     seed: int = DEFAULT_SEED,
+    n_workers: int = 1,
 ) -> List[IterationPoint]:
     """Iteration-count experiment (Figure 4, rspeed with 2/4/10 iterations)."""
     points: List[IterationPoint] = []
     for count in iteration_counts:
         results = _run_campaign(
             workload, IU_SCOPE, [FaultModel.STUCK_AT_1], sample_size, seed,
-            iterations=count,
+            iterations=count, n_workers=n_workers,
         )
         result = results[FaultModel.STUCK_AT_1]
         points.append(
@@ -192,10 +205,13 @@ def figure5_iu_faults(
     fault_models: Sequence[FaultModel] = ALL_FAULT_MODELS,
     sample_size: int = DEFAULT_SAMPLE_SIZE,
     seed: int = DEFAULT_SEED,
+    n_workers: int = 1,
 ) -> Dict[str, Dict[FaultModel, CampaignResult]]:
     """Fault-injection experiments at integer-unit nodes (Figure 5)."""
     return {
-        workload: _run_campaign(workload, IU_SCOPE, fault_models, sample_size, seed)
+        workload: _run_campaign(
+            workload, IU_SCOPE, fault_models, sample_size, seed, n_workers=n_workers
+        )
         for workload in workloads
     }
 
@@ -205,10 +221,13 @@ def figure6_cmem_faults(
     fault_models: Sequence[FaultModel] = ALL_FAULT_MODELS,
     sample_size: int = DEFAULT_SAMPLE_SIZE,
     seed: int = DEFAULT_SEED,
+    n_workers: int = 1,
 ) -> Dict[str, Dict[FaultModel, CampaignResult]]:
     """Fault-injection experiments at cache-memory nodes (Figure 6)."""
     return {
-        workload: _run_campaign(workload, CMEM_SCOPE, fault_models, sample_size, seed)
+        workload: _run_campaign(
+            workload, CMEM_SCOPE, fault_models, sample_size, seed, n_workers=n_workers
+        )
         for workload in workloads
     }
 
@@ -224,8 +243,16 @@ def figure7_correlation(
     seed: int = DEFAULT_SEED,
     fault_model: FaultModel = FaultModel.STUCK_AT_1,
     unit_scope: str = IU_SCOPE,
+    n_workers: int = 1,
 ) -> CorrelationResult:
     """Correlate diversity (ISS) with measured Pf (RTL) — Figure 7.
+
+    This is the paper's headline experiment expressed as "same workload, two
+    backends": the diversity observable comes from a fault-free run on the
+    :class:`~repro.engine.IssBackend` (via :func:`characterize_program`), the
+    failure probability from an injection campaign of the same program on the
+    :class:`~repro.engine.Leon3RtlBackend` — both through the uniform engine
+    API rather than bespoke per-simulator code paths.
 
     As in the paper, the excerpt subsets contribute additional low-diversity
     points; each subset contributes the mean Pf of its three members (the
@@ -235,7 +262,10 @@ def figure7_correlation(
     for workload in workloads:
         program = build_program(workload)
         characterization = characterize_program(program, name=workload)
-        results = _run_campaign(workload, unit_scope, [fault_model], sample_size, seed)
+        results = _run_campaign(
+            workload, unit_scope, [fault_model], sample_size, seed,
+            n_workers=n_workers,
+        )
         result = results[fault_model]
         points.append(
             CorrelationPoint(
@@ -246,7 +276,9 @@ def figure7_correlation(
             )
         )
     if include_excerpts:
-        experiment = figure3_input_data(sample_size=sample_size, seed=seed)
+        experiment = figure3_input_data(
+            sample_size=sample_size, seed=seed, n_workers=n_workers
+        )
         subset_a_program = build_program(f"excerpt_{next(iter(SUBSET_A_MEMBERS))}")
         subset_b_program = build_program(f"excerpt_{next(iter(SUBSET_B_MEMBERS))}")
         diversity_a = characterize_program(subset_a_program).diversity
@@ -294,14 +326,16 @@ def simulation_time_comparison(
     workload: str = "rspeed",
     sample_size: int = 30,
     seed: int = DEFAULT_SEED,
+    n_workers: int = 1,
 ) -> SimulationTimeComparison:
     """Measure the RTL-vs-ISS simulation cost ratio (Section 4.2).
 
     The paper reports 25 478 CPU hours for the RTL campaigns versus fewer than
     300 hours for the same number of ISS experiments (a ~85x gap).  Here the
-    same comparison is made at reproduction scale: one RTL campaign of
-    *sample_size* injections is timed against *sample_size* ISS re-executions
-    of the same workload.
+    same comparison is made at reproduction scale and through the same backend
+    API: one RTL campaign of *sample_size* injections (engine +
+    :class:`~repro.engine.Leon3RtlBackend`) is timed against *sample_size*
+    fault-free re-executions on the :class:`~repro.engine.IssBackend`.
     """
     program = build_program(workload)
     config = CampaignConfig(
@@ -309,22 +343,17 @@ def simulation_time_comparison(
         sample_size=sample_size,
         fault_models=[FaultModel.STUCK_AT_1],
         seed=seed,
+        n_workers=n_workers,
     )
-    campaign = FaultInjectionCampaign(program, config)
-    start = time.perf_counter()
-    campaign.run_model(FaultModel.STUCK_AT_1)
-    rtl_seconds = time.perf_counter() - start
-
-    start = time.perf_counter()
-    for _ in range(sample_size):
-        emulator = Emulator(memory=Memory())
-        emulator.load_program(program)
-        emulator.run(max_instructions=400_000)
-    iss_seconds = time.perf_counter() - start
+    engine = CampaignEngine(program, config, backend_factory=Leon3RtlBackend)
+    result = engine.run_model(FaultModel.STUCK_AT_1)
+    iss_seconds = reference_run_seconds(
+        program, IssBackend, runs=sample_size, max_instructions=config.max_instructions
+    )
 
     return SimulationTimeComparison(
         workload=workload,
         experiments=sample_size,
-        rtl_seconds=rtl_seconds,
+        rtl_seconds=result.simulation_seconds,
         iss_seconds=iss_seconds,
     )

@@ -1,0 +1,58 @@
+"""Campaign execution engine: backends, jobs, schedulers, aggregation.
+
+The engine decouples *what* a fault-injection campaign does from *where* its
+experiments run:
+
+* :mod:`repro.engine.backend` — the :class:`ExecutionBackend` protocol and the
+  :class:`Leon3RtlBackend` / :class:`IssBackend` adapters, unified behind a
+  common :class:`RunResult`.
+* :mod:`repro.engine.jobs` — picklable :class:`InjectionJob` /
+  :class:`OutcomeRecord` records and campaign planning.
+* :mod:`repro.engine.schedulers` — serial and multiprocessing job execution
+  with per-worker golden-run caching.
+* :mod:`repro.engine.campaign` — :class:`CampaignEngine`, which plans a
+  campaign, runs it through a scheduler and streams outcomes into
+  :class:`~repro.faultinjection.results.CampaignResult` aggregates.
+
+Every scheduler is result-transparent: the same plan yields bit-identical
+``Pf`` breakdowns whether it runs serially or across a worker pool.
+"""
+
+from repro.engine.backend import (
+    ExecutionBackend,
+    IssBackend,
+    Leon3RtlBackend,
+    RunResult,
+    watchdog_budget,
+)
+from repro.engine.campaign import (
+    CampaignConfig,
+    CampaignEngine,
+    ProgressCallback,
+    reference_run_seconds,
+)
+from repro.engine.jobs import CampaignPlan, InjectionJob, OutcomeRecord, plan_jobs
+from repro.engine.schedulers import (
+    MultiprocessingScheduler,
+    SerialScheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "ExecutionBackend",
+    "IssBackend",
+    "Leon3RtlBackend",
+    "RunResult",
+    "watchdog_budget",
+    "CampaignConfig",
+    "CampaignEngine",
+    "ProgressCallback",
+    "reference_run_seconds",
+    "CampaignPlan",
+    "InjectionJob",
+    "OutcomeRecord",
+    "plan_jobs",
+    "MultiprocessingScheduler",
+    "SerialScheduler",
+    "make_scheduler",
+]

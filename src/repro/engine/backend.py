@@ -1,0 +1,242 @@
+"""Execution backends: one run API over every simulator in the framework.
+
+The paper's core experiment runs the *same* workload under fault injection on
+two very different simulators — the RTL-level structural Leon3 model and the
+instruction-set simulator — and correlates the results.  Historically the two
+exposed ad-hoc, divergent run APIs, which forced every experiment driver to
+carry bespoke per-simulator loops.  This module closes that gap:
+
+* :class:`RunResult` is the common outcome record of one program execution
+  (off-core transaction stream, trace, counts, termination status) — the
+  comparison point used to declare failures, regardless of backend.
+* :class:`ExecutionBackend` is the protocol every simulator adapter follows:
+  ``prepare(program)`` once, then any number of ``run(max_instructions,
+  faults=...)`` calls, each starting from a clean reset with the given faults
+  active.
+* :class:`Leon3RtlBackend` adapts the structural Leon3 model (RTL-level
+  permanent faults on netlist sites).
+* :class:`IssBackend` adapts the functional emulator (architectural faults on
+  register-file bits, the baseline practice the paper argues about).
+
+Backends are cheap to construct and deliberately hold *all* their state, so a
+campaign scheduler can build one per worker process and reuse it across
+thousands of injection runs (per-worker golden caching).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Protocol, Union, runtime_checkable
+
+from repro.isa.assembler import Program
+from repro.iss.emulator import Emulator, ExecutionResult
+from repro.iss.faults import ArchitecturalFault, _FaultyEmulator
+from repro.iss.memory import Memory
+from repro.iss.trace import ExecutionTrace, OffCoreTransaction
+from repro.leon3.core import Leon3Core, RtlExecutionResult
+from repro.rtl.faults import FaultModel, PermanentFault
+from repro.rtl.sites import SiteUniverse
+
+#: Head-room factor applied to the golden instruction count to detect hangs.
+WATCHDOG_FACTOR = 2.0
+WATCHDOG_SLACK = 1_000
+
+
+def watchdog_budget(golden_instructions: int) -> int:
+    """Instruction budget for faulty runs, derived from the golden run.
+
+    A faulty run that executes more than ``WATCHDOG_FACTOR`` times the golden
+    instruction count (plus slack) without terminating is declared hung; the
+    comparator then classifies it as :attr:`FailureClass.HANG`.
+    """
+    return int(golden_instructions * WATCHDOG_FACTOR) + WATCHDOG_SLACK
+
+
+@dataclass
+class RunResult:
+    """Backend-independent outcome of one program execution.
+
+    Carries exactly the observables the failure comparison and the analysis
+    layers need; simulator-specific extras (cache miss counts, trap objects)
+    stay on the native result types.
+    """
+
+    backend: str
+    transactions: List[OffCoreTransaction]
+    trace: ExecutionTrace
+    instructions: int
+    cycles: int
+    halted: bool
+    exit_code: Optional[int] = None
+    trap_kind: Optional[str] = None
+    #: Cycle stamps of the off-core transactions (empty when the backend does
+    #: not track them; the comparator then falls back to the final cycle).
+    transaction_cycles: List[int] = field(default_factory=list)
+
+    @property
+    def normal_exit(self) -> bool:
+        return self.halted and self.trap_kind is None and self.exit_code is not None
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Protocol implemented by every simulator adapter."""
+
+    #: Short identifier ("rtl", "iss", ...) recorded on results.
+    name: str
+
+    def prepare(self, program: Program) -> None:
+        """Load *program*; subsequent runs execute it from reset."""
+
+    @property
+    def sites(self) -> SiteUniverse:
+        """The universe of fault sites this backend can inject into."""
+
+    def run(
+        self,
+        max_instructions: int,
+        faults: Iterable[PermanentFault] = (),
+    ) -> RunResult:
+        """Execute the prepared program from reset with *faults* active."""
+
+
+class Leon3RtlBackend:
+    """RTL-level backend: the structural Leon3 model with netlist faults."""
+
+    name = "rtl"
+
+    def __init__(self, core: Optional[Leon3Core] = None, **core_kwargs):
+        self.core = core if core is not None else Leon3Core(**core_kwargs)
+        self._program: Optional[Program] = None
+
+    def prepare(self, program: Program) -> None:
+        self._program = program
+        self.core.load_program(program)
+
+    @property
+    def sites(self) -> SiteUniverse:
+        return self.core.sites
+
+    def run(
+        self,
+        max_instructions: int,
+        faults: Iterable[PermanentFault] = (),
+    ) -> RunResult:
+        if self._program is None:
+            raise RuntimeError("backend not prepared: call prepare(program) first")
+        self.core.clear_faults()
+        self.core.reload()
+        fault_list = list(faults)
+        if fault_list:
+            self.core.inject(fault_list)
+        native: RtlExecutionResult = self.core.run(max_instructions=max_instructions)
+        self.core.clear_faults()
+        return RunResult(
+            backend=self.name,
+            transactions=native.transactions,
+            trace=native.trace,
+            instructions=native.instructions,
+            cycles=native.cycles,
+            halted=native.halted,
+            exit_code=native.exit_code,
+            trap_kind=native.trap_kind,
+            transaction_cycles=native.transaction_cycles,
+        )
+
+
+#: Unit path of the ISS backend's architectural register-file sites.
+ARCH_REGFILE_UNIT = "arch.regfile"
+ARCH_REGFILE_NET = "regfile"
+
+#: How RTL permanent-fault models map onto architectural fault models.  The
+#: open-line model has no architectural equivalent; it degrades to a single
+#: transient bit flip, the closest practice used in ISS-level campaigns.
+_ARCH_MODEL = {
+    FaultModel.STUCK_AT_0: "stuck_at_0",
+    FaultModel.STUCK_AT_1: "stuck_at_1",
+    FaultModel.OPEN_LINE: "bit_flip",
+}
+
+
+class IssBackend:
+    """ISS-level backend: the functional emulator with architectural faults.
+
+    Its site universe is the architectural register file (32 registers of 32
+    bits, unit path ``"arch.regfile"``); a :class:`PermanentFault` whose site
+    comes from that universe is translated to the equivalent
+    :class:`ArchitecturalFault`.  This is the fault-injection practice the
+    paper evaluates ISS simulators against, exposed through the same API as
+    the RTL campaigns so experiments can swap backends without new code.
+    """
+
+    name = "iss"
+
+    def __init__(self, detailed_trace: bool = False):
+        self.detailed_trace = detailed_trace
+        self._program: Optional[Program] = None
+        self._sites = SiteUniverse()
+        self._sites.add_array(
+            ARCH_REGFILE_NET, width=32, cells=32, unit=ARCH_REGFILE_UNIT
+        )
+
+    def prepare(self, program: Program) -> None:
+        self._program = program
+
+    @property
+    def sites(self) -> SiteUniverse:
+        return self._sites
+
+    def run(
+        self,
+        max_instructions: int,
+        faults: Iterable[Union[PermanentFault, ArchitecturalFault]] = (),
+    ) -> RunResult:
+        if self._program is None:
+            raise RuntimeError("backend not prepared: call prepare(program) first")
+        arch_faults = [self._to_architectural(fault) for fault in faults]
+        if len(arch_faults) > 1:
+            raise ValueError("the ISS backend supports a single fault per run")
+        if arch_faults:
+            emulator: Emulator = _FaultyEmulator(
+                arch_faults[0], memory=Memory(), detailed_trace=self.detailed_trace
+            )
+        else:
+            emulator = Emulator(memory=Memory(), detailed_trace=self.detailed_trace)
+        emulator.load_program(self._program)
+        native: ExecutionResult = emulator.run(max_instructions=max_instructions)
+        # Budget exhaustion is reported as a "watchdog" trap event by the
+        # emulator; the RTL model reports it as a non-halted run with no trap.
+        # Normalise to the latter so the comparator classifies both as HANG.
+        trap_kind = None
+        if (
+            native.trap is not None
+            and not native.trap.is_exit
+            and native.trap.kind != "watchdog"
+        ):
+            trap_kind = native.trap.kind
+        return RunResult(
+            backend=self.name,
+            transactions=native.transactions,
+            trace=native.trace,
+            instructions=native.instructions,
+            cycles=native.cycles,
+            halted=native.halted,
+            exit_code=native.exit_code,
+            trap_kind=trap_kind,
+        )
+
+    @staticmethod
+    def _to_architectural(
+        fault: Union[PermanentFault, ArchitecturalFault]
+    ) -> ArchitecturalFault:
+        if isinstance(fault, ArchitecturalFault):
+            return fault
+        site = fault.site
+        if site.net != ARCH_REGFILE_NET or site.index is None:
+            raise ValueError(
+                f"site {site.describe()} is not an architectural register-file "
+                f"site; the ISS backend injects into {ARCH_REGFILE_UNIT!r} only"
+            )
+        return ArchitecturalFault(
+            register=site.index, bit=site.bit, model=_ARCH_MODEL[fault.model]
+        )

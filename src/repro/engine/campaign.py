@@ -1,0 +1,235 @@
+"""The campaign engine: plan, schedule and aggregate fault-injection runs.
+
+This is the load-bearing orchestration layer of the framework.  A campaign is
+
+1. **planned** — one golden run, one site sample shared by every fault model,
+   expanded into a flat list of picklable :class:`InjectionJob`s,
+2. **executed** — through a pluggable scheduler (serial, or a
+   :mod:`multiprocessing` pool with chunked batches and per-worker golden
+   caching), and
+3. **aggregated** — finished :class:`OutcomeRecord`s stream into per-model
+   :class:`CampaignResult`s incrementally, firing an optional progress
+   callback after every injection.
+
+Schedulers are required to be result-transparent: for the same plan, every
+scheduler yields bit-identical ``Pf`` breakdowns (the test suite enforces
+serial == multiprocessing).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.faultinjection.results import CampaignResult, InjectionOutcome
+from repro.isa.assembler import Program
+from repro.leon3.units import IU_SCOPE
+from repro.rtl.faults import ALL_FAULT_MODELS, FaultModel
+from repro.rtl.sites import FaultSite
+
+from repro.engine.backend import ExecutionBackend, Leon3RtlBackend, RunResult
+from repro.engine.jobs import CampaignPlan, OutcomeRecord, plan_jobs
+from repro.engine.schedulers import make_scheduler
+
+#: Progress callback: (completed jobs, total jobs, outcome just finished).
+ProgressCallback = Callable[[int, int, InjectionOutcome], None]
+
+
+@dataclass
+class CampaignConfig:
+    """Configuration of a fault-injection campaign."""
+
+    #: Unit scope of the injections: "iu", "cmem" or any unit-path prefix.
+    unit_scope: str = IU_SCOPE
+    #: Number of fault sites sampled from the scope (use ``None`` for all).
+    sample_size: Optional[int] = 200
+    #: Fault models to inject (defaults to the three permanent models).
+    fault_models: Sequence[FaultModel] = field(
+        default_factory=lambda: list(ALL_FAULT_MODELS)
+    )
+    #: Random seed for site sampling (campaigns are reproducible by default).
+    seed: int = 2015
+    #: Hard instruction ceiling for the golden run.
+    max_instructions: int = 400_000
+    #: Worker processes executing injection jobs (1 = in-process serial).
+    n_workers: int = 1
+    #: Scheduler name ("serial" / "process"); ``None`` auto-selects from
+    #: ``n_workers``.
+    scheduler: Optional[str] = None
+    #: Jobs per scheduler batch (``None`` = derived from the plan size).
+    chunk_size: Optional[int] = None
+
+    def scopes(self) -> List[str]:
+        return [self.unit_scope]
+
+
+class CampaignEngine:
+    """Plans and executes fault-injection campaigns on any backend."""
+
+    def __init__(
+        self,
+        program: Program,
+        config: Optional[CampaignConfig] = None,
+        backend_factory: Callable[[], ExecutionBackend] = Leon3RtlBackend,
+    ):
+        self.program = program
+        self.config = config if config is not None else CampaignConfig()
+        self.backend_factory = backend_factory
+        self._backend: Optional[ExecutionBackend] = None
+        self._golden: Optional[RunResult] = None
+
+    # -- planner-local backend ---------------------------------------------------------
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The planner-local backend instance (created and prepared lazily)."""
+        if self._backend is None:
+            self._backend = self.backend_factory()
+            self._backend.prepare(self.program)
+        return self._backend
+
+    def golden_run(self) -> RunResult:
+        """Fault-free reference run on the local backend (cached)."""
+        if self._golden is None:
+            golden = self.backend.run(
+                max_instructions=self.config.max_instructions
+            )
+            if not golden.normal_exit:
+                raise RuntimeError(
+                    f"golden run of {self.program.name!r} did not exit normally "
+                    f"(trap={golden.trap_kind}, instructions={golden.instructions})"
+                )
+            self._golden = golden
+        return self._golden
+
+    # -- planning ------------------------------------------------------------------------
+
+    def select_sites(self) -> List[FaultSite]:
+        """Sample (or enumerate) the fault sites of the configured scope.
+
+        The sample is a pure function of the backend's site universe and the
+        config seed, so every fault model — and every worker — sees the same
+        population.
+        """
+        universe = self.backend.sites
+        scope = self.config.scopes()
+        if self.config.sample_size is None:
+            return list(universe.iter_sites(scope))
+        return universe.sample(
+            self.config.sample_size, units=scope, seed=self.config.seed
+        )
+
+    def plan(
+        self,
+        fault_models: Optional[Sequence[FaultModel]] = None,
+        sites: Optional[Sequence[FaultSite]] = None,
+    ) -> CampaignPlan:
+        """Build the executable plan: golden run + site sample + job list."""
+        golden = self.golden_run()
+        models = tuple(
+            fault_models if fault_models is not None else self.config.fault_models
+        )
+        site_list = list(sites) if sites is not None else self.select_sites()
+        jobs = plan_jobs(site_list, models, self.program.name)
+        return CampaignPlan(
+            program=self.program,
+            backend_factory=self.backend_factory,
+            unit_scope=self.config.unit_scope,
+            fault_models=models,
+            sites=site_list,
+            jobs=jobs,
+            max_instructions=self.config.max_instructions,
+            backend=self.backend,
+            golden=golden,
+        )
+
+    # -- execution ----------------------------------------------------------------------
+
+    def run(
+        self,
+        fault_models: Optional[Sequence[FaultModel]] = None,
+        sites: Optional[Sequence[FaultSite]] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> Dict[FaultModel, CampaignResult]:
+        """Execute the campaign and aggregate per-fault-model results.
+
+        Outcomes are folded into the result objects as they stream in;
+        *progress* (if given) fires after every finished injection with
+        ``(done, total, outcome)``.
+        """
+        start = time.perf_counter()
+        plan = self.plan(fault_models=fault_models, sites=sites)
+        golden = plan.golden
+        results: Dict[FaultModel, CampaignResult] = {
+            model: CampaignResult(
+                workload=self.program.name,
+                fault_model=model,
+                unit_scope=self.config.unit_scope,
+                golden_instructions=golden.instructions,
+                golden_cycles=golden.cycles,
+                golden_transactions=len(golden.transactions),
+            )
+            for model in plan.fault_models
+        }
+
+        done = 0
+
+        def on_outcome(record: OutcomeRecord) -> None:
+            nonlocal done
+            done += 1
+            outcome = record.to_outcome()
+            results[record.job.fault_model].outcomes.append(outcome)
+            if progress is not None:
+                progress(done, plan.total_jobs, outcome)
+
+        scheduler = make_scheduler(
+            self.config.scheduler, self.config.n_workers, self.config.chunk_size
+        )
+        # Schedulers deliver outcomes in plan order (serial trivially; the
+        # pool via ordered imap), so the streamed appends above are already
+        # the canonical per-model result lists.
+        records = scheduler.execute(plan, on_outcome)
+
+        # Per-model simulation cost: the measured seconds of that model's
+        # faulty runs, plus an even share of the campaign overhead (golden
+        # run, planning, scheduling) not attributable to any one job.
+        elapsed = time.perf_counter() - start
+        job_seconds = sum(record.seconds for record in records)
+        overhead = max(0.0, elapsed - job_seconds) / max(1, len(results))
+        model_seconds: Dict[FaultModel, float] = {model: 0.0 for model in results}
+        for record in records:
+            model_seconds[record.job.fault_model] += record.seconds
+        for model, result in results.items():
+            result.simulation_seconds = model_seconds[model] + overhead
+        return results
+
+    def run_model(
+        self,
+        fault_model: FaultModel,
+        sites: Optional[Sequence[FaultSite]] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> CampaignResult:
+        """Run the campaign for a single fault model."""
+        return self.run(fault_models=[fault_model], sites=sites, progress=progress)[
+            fault_model
+        ]
+
+
+def reference_run_seconds(
+    program: Program,
+    backend_factory: Callable[[], ExecutionBackend],
+    runs: int,
+    max_instructions: int = 400_000,
+) -> float:
+    """Wall-clock cost of *runs* fault-free executions on a backend.
+
+    Used by the Section 4.2 simulation-cost comparison: the same experiment
+    count, timed through the uniform backend API instead of bespoke loops.
+    """
+    backend = backend_factory()
+    backend.prepare(program)
+    start = time.perf_counter()
+    for _ in range(runs):
+        backend.run(max_instructions=max_instructions)
+    return time.perf_counter() - start

@@ -1,0 +1,106 @@
+"""Campaign planning: picklable injection jobs and outcome records.
+
+A campaign is planned *up front* as a flat list of :class:`InjectionJob`s
+(site x fault-model x workload).  Jobs and the :class:`OutcomeRecord`s that
+come back are small frozen dataclasses built only from picklable leaves
+(strings, ints, enums), so a plan can be executed by any scheduler — in
+process, across a :mod:`multiprocessing` pool, or, later, shipped to remote
+workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.faultinjection.comparison import FailureClass
+from repro.faultinjection.results import InjectionOutcome
+from repro.isa.assembler import Program
+from repro.rtl.faults import FaultModel, PermanentFault
+from repro.rtl.sites import FaultSite
+
+from repro.engine.backend import ExecutionBackend, RunResult
+
+
+@dataclass(frozen=True)
+class InjectionJob:
+    """One fault-injection experiment: a site, a fault model, a workload."""
+
+    #: Position in the campaign plan (defines the canonical result order).
+    index: int
+    site: FaultSite
+    fault_model: FaultModel
+    workload: str
+
+    @property
+    def fault(self) -> PermanentFault:
+        return PermanentFault(site=self.site, model=self.fault_model)
+
+
+@dataclass(frozen=True)
+class OutcomeRecord:
+    """Wire format of one finished job, streamed back from workers."""
+
+    job: InjectionJob
+    failure_class: FailureClass
+    detection_cycle: Optional[int]
+    faulty_instructions: int
+    #: Wall-clock seconds this job's faulty run took on its worker (CPU cost
+    #: attribution for per-model simulation_seconds).
+    seconds: float = 0.0
+
+    def to_outcome(self) -> InjectionOutcome:
+        return InjectionOutcome(
+            fault=self.job.fault,
+            failure_class=self.failure_class,
+            detection_cycle=self.detection_cycle,
+            faulty_instructions=self.faulty_instructions,
+        )
+
+
+@dataclass
+class CampaignPlan:
+    """Everything a scheduler needs to execute a campaign.
+
+    ``backend_factory`` must be a picklable zero-argument callable (a
+    module-level class or function) so that worker processes can build their
+    own backend; ``backend`` and ``golden`` are the planner's local instances,
+    reused by in-process schedulers to avoid a second golden run.
+    """
+
+    program: Program
+    backend_factory: Callable[[], ExecutionBackend]
+    unit_scope: str
+    fault_models: Tuple[FaultModel, ...]
+    sites: List[FaultSite]
+    jobs: List[InjectionJob]
+    max_instructions: int
+    #: Planner-local backend with the program prepared (not sent to workers).
+    backend: ExecutionBackend
+    #: Golden (fault-free) run of the planner-local backend.
+    golden: RunResult
+
+    @property
+    def total_jobs(self) -> int:
+        return len(self.jobs)
+
+
+def plan_jobs(
+    sites: Sequence[FaultSite],
+    fault_models: Sequence[FaultModel],
+    workload: str,
+) -> List[InjectionJob]:
+    """Expand site x model into the canonical, deterministic job order.
+
+    Models vary in the outer loop so each model sees the *same* site sequence
+    — the paper compares fault models on identical fault populations.
+    """
+    jobs: List[InjectionJob] = []
+    for model in fault_models:
+        for site in sites:
+            jobs.append(
+                InjectionJob(
+                    index=len(jobs), site=site, fault_model=model, workload=workload
+                )
+            )
+    return jobs

@@ -1,0 +1,165 @@
+"""Campaign schedulers: how a planned list of injection jobs gets executed.
+
+Two schedulers are provided:
+
+* :class:`SerialScheduler` — runs every job on the planner's own backend in
+  plan order.  Zero overhead, fully deterministic; the reference
+  implementation every other scheduler must match bit-for-bit.
+* :class:`MultiprocessingScheduler` — fans chunked job batches out to a
+  :class:`multiprocessing.Pool`.  Each worker builds one backend, runs the
+  golden reference once, and then reuses both across every batch it receives
+  (per-worker golden caching), so the per-injection cost approaches the raw
+  simulation cost.  Ordered ``imap`` plus a final sort by job index makes the
+  outcome stream identical to the serial scheduler's for the same plan.
+
+Both stream :class:`OutcomeRecord`s through an optional callback as they
+finish, which the engine uses for incremental aggregation and progress
+reporting.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.faultinjection.comparison import compare_runs
+
+from repro.engine.backend import ExecutionBackend, RunResult, watchdog_budget
+from repro.engine.jobs import CampaignPlan, InjectionJob, OutcomeRecord
+
+OutcomeCallback = Callable[[OutcomeRecord], None]
+
+
+def execute_job(
+    backend: ExecutionBackend,
+    golden: RunResult,
+    budget: int,
+    job: InjectionJob,
+) -> OutcomeRecord:
+    """Run one injection job on *backend* and classify it against *golden*."""
+    start = time.perf_counter()
+    faulty = backend.run(max_instructions=budget, faults=[job.fault])
+    seconds = time.perf_counter() - start
+    comparison = compare_runs(golden, faulty)
+    return OutcomeRecord(
+        job=job,
+        failure_class=comparison.failure_class,
+        detection_cycle=comparison.detection_cycle,
+        faulty_instructions=faulty.instructions,
+        seconds=seconds,
+    )
+
+
+class SerialScheduler:
+    """Run jobs one after another on the planner's backend."""
+
+    name = "serial"
+
+    def execute(
+        self, plan: CampaignPlan, on_outcome: Optional[OutcomeCallback] = None
+    ) -> List[OutcomeRecord]:
+        budget = watchdog_budget(plan.golden.instructions)
+        records: List[OutcomeRecord] = []
+        for job in plan.jobs:
+            record = execute_job(plan.backend, plan.golden, budget, job)
+            records.append(record)
+            if on_outcome is not None:
+                on_outcome(record)
+        return records
+
+
+# -- multiprocessing worker side ---------------------------------------------------
+#
+# Worker state lives in module globals initialised once per worker process via
+# the Pool initializer; only small picklable objects (the backend factory, the
+# program, job batches, outcome records) ever cross the process boundary.
+
+_WORKER: Dict[str, object] = {}
+
+
+def _init_worker(backend_factory, program, max_instructions: int) -> None:
+    backend: ExecutionBackend = backend_factory()
+    backend.prepare(program)
+    golden = backend.run(max_instructions=max_instructions)
+    if not golden.normal_exit:
+        raise RuntimeError(
+            f"worker golden run of {program.name!r} did not exit normally "
+            f"(trap={golden.trap_kind})"
+        )
+    _WORKER["backend"] = backend
+    _WORKER["golden"] = golden
+    _WORKER["budget"] = watchdog_budget(golden.instructions)
+
+
+def _run_batch(jobs: Sequence[InjectionJob]) -> List[OutcomeRecord]:
+    backend: ExecutionBackend = _WORKER["backend"]  # type: ignore[assignment]
+    golden: RunResult = _WORKER["golden"]  # type: ignore[assignment]
+    budget: int = _WORKER["budget"]  # type: ignore[assignment]
+    return [execute_job(backend, golden, budget, job) for job in jobs]
+
+
+def chunk_jobs(
+    jobs: Sequence[InjectionJob], n_workers: int, chunk_size: Optional[int] = None
+) -> List[List[InjectionJob]]:
+    """Split *jobs* into contiguous batches for the pool.
+
+    The default batch size targets a few batches per worker — large enough to
+    amortise IPC, small enough to keep the pool balanced and the progress
+    stream flowing.
+    """
+    if not jobs:
+        return []
+    if chunk_size is None:
+        chunk_size = max(1, min(32, -(-len(jobs) // (n_workers * 4))))
+    return [list(jobs[i : i + chunk_size]) for i in range(0, len(jobs), chunk_size)]
+
+
+class MultiprocessingScheduler:
+    """Fan job batches out to a pool of per-backend worker processes."""
+
+    name = "process"
+
+    def __init__(self, n_workers: int, chunk_size: Optional[int] = None):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self.chunk_size = chunk_size
+
+    def execute(
+        self, plan: CampaignPlan, on_outcome: Optional[OutcomeCallback] = None
+    ) -> List[OutcomeRecord]:
+        batches = chunk_jobs(plan.jobs, self.n_workers, self.chunk_size)
+        if not batches:
+            return []
+        records: List[OutcomeRecord] = []
+        with multiprocessing.Pool(
+            processes=min(self.n_workers, len(batches)),
+            initializer=_init_worker,
+            initargs=(plan.backend_factory, plan.program, plan.max_instructions),
+        ) as pool:
+            for batch_records in pool.imap(_run_batch, batches):
+                for record in batch_records:
+                    records.append(record)
+                    if on_outcome is not None:
+                        on_outcome(record)
+        records.sort(key=lambda record: record.job.index)
+        return records
+
+
+def make_scheduler(
+    scheduler: Optional[str] = None,
+    n_workers: int = 1,
+    chunk_size: Optional[int] = None,
+):
+    """Resolve a scheduler from a name plus a worker count.
+
+    ``None`` auto-selects: serial for one worker, multiprocessing otherwise.
+    """
+    if scheduler is None:
+        scheduler = "serial" if n_workers <= 1 else "process"
+    if scheduler == "serial":
+        return SerialScheduler()
+    if scheduler == "process":
+        return MultiprocessingScheduler(max(1, n_workers), chunk_size=chunk_size)
+    raise ValueError(f"unknown scheduler {scheduler!r} (expected 'serial' or 'process')")

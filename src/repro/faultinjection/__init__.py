@@ -13,10 +13,28 @@ The campaign flow mirrors the paper's RTL methodology (Figure 2):
    failures — the ``Pf`` reported in Figures 3-7.
 """
 
-from repro.faultinjection.campaign import CampaignConfig, FaultInjectionCampaign
 from repro.faultinjection.comparison import FailureClass, compare_runs
-from repro.faultinjection.injector import FaultInjector
 from repro.faultinjection.results import CampaignResult, InjectionOutcome
+
+#: Campaign/injector symbols are re-exported lazily: those modules sit *above*
+#: the engine layer, while the engine itself imports the leaf modules
+#: (``comparison``, ``results``) from this package — eager imports here would
+#: close an import cycle.
+_LAZY_EXPORTS = {
+    "CampaignConfig": "repro.faultinjection.campaign",
+    "FaultInjectionCampaign": "repro.faultinjection.campaign",
+    "FaultInjector": "repro.faultinjection.injector",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
 
 __all__ = [
     "CampaignConfig",

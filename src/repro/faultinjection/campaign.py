@@ -1,8 +1,17 @@
-"""Fault-injection campaign orchestration.
+"""Fault-injection campaign orchestration (engine-backed).
 
 A campaign runs one workload against a population of fault sites for one or
 more fault models, producing :class:`~repro.faultinjection.results.CampaignResult`
 objects with the failure probability ``Pf`` and its breakdown.
+
+Since the :mod:`repro.engine` refactor this module is a thin façade over
+:class:`~repro.engine.campaign.CampaignEngine`: the campaign is planned as a
+list of picklable injection jobs, executed through a pluggable scheduler
+(serial in-process, or a :mod:`multiprocessing` pool when
+``CampaignConfig.n_workers > 1``), and aggregated incrementally.  One golden
+run and one site sample are shared across all fault models of a campaign, so
+the models are compared on identical fault populations (as in the paper,
+where the same nodes receive stuck-at-0, stuck-at-1 and open-line faults).
 
 The paper's full campaigns injected into *every* available point of the IU
 and CMEM units; at Python simulation speeds that is made optional — by
@@ -12,111 +21,102 @@ same ``Pf`` with a configurable confidence/effort trade-off.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+import dataclasses
+from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.faultinjection.comparison import compare_runs
+from repro.engine.backend import ExecutionBackend, Leon3RtlBackend
+from repro.engine.campaign import CampaignConfig, CampaignEngine, ProgressCallback
 from repro.faultinjection.injector import FaultInjector
-from repro.faultinjection.results import CampaignResult, InjectionOutcome
+from repro.faultinjection.results import CampaignResult
 from repro.isa.assembler import Program
 from repro.leon3.core import Leon3Core
 from repro.leon3.units import CMEM_SCOPE, IU_SCOPE
-from repro.rtl.faults import ALL_FAULT_MODELS, FaultModel, PermanentFault
+from repro.rtl.faults import ALL_FAULT_MODELS, FaultModel
 from repro.rtl.sites import FaultSite
 
-
-@dataclass
-class CampaignConfig:
-    """Configuration of a fault-injection campaign."""
-
-    #: Unit scope of the injections: "iu", "cmem" or any unit-path prefix.
-    unit_scope: str = IU_SCOPE
-    #: Number of fault sites sampled from the scope (use ``None`` for all).
-    sample_size: Optional[int] = 200
-    #: Fault models to inject (defaults to the three permanent models).
-    fault_models: Sequence[FaultModel] = field(default_factory=lambda: list(ALL_FAULT_MODELS))
-    #: Random seed for site sampling (campaigns are reproducible by default).
-    seed: int = 2015
-    #: Hard instruction ceiling for the golden run.
-    max_instructions: int = 400_000
-
-    def scopes(self) -> List[str]:
-        return [self.unit_scope]
+__all__ = [
+    "CampaignConfig",
+    "FaultInjectionCampaign",
+    "run_iu_campaign",
+    "run_cmem_campaign",
+]
 
 
 class FaultInjectionCampaign:
-    """Run permanent-fault injections for one workload program."""
+    """Run permanent-fault injections for one workload program.
+
+    ``backend_factory`` selects the simulator (default: the structural RTL
+    model); passing an explicit ``core`` pins the campaign to that core
+    instance, which implies the serial scheduler (cores are not picklable).
+    """
 
     def __init__(
         self,
         program: Program,
         config: Optional[CampaignConfig] = None,
         core: Optional[Leon3Core] = None,
+        backend_factory: Optional[Callable[[], ExecutionBackend]] = None,
     ):
         self.program = program
         self.config = config if config is not None else CampaignConfig()
-        self.injector = FaultInjector(
-            program, core=core, max_instructions=self.config.max_instructions
+        if backend_factory is None:
+            if core is not None:
+                backend = Leon3RtlBackend(core=core)
+                backend_factory = lambda: backend  # noqa: E731 - serial only
+                # Copy before forcing serial so a caller-shared config object
+                # keeps its scheduler choice for other campaigns.
+                self.config = dataclasses.replace(self.config, scheduler="serial")
+            else:
+                backend_factory = Leon3RtlBackend
+        self.engine = CampaignEngine(
+            program, self.config, backend_factory=backend_factory
         )
+        self._injector: Optional[FaultInjector] = None
+
+    @property
+    def injector(self) -> FaultInjector:
+        """Injector view over the engine's local backend (compatibility API).
+
+        The injector shares the engine's backend *and* its cached golden run,
+        so mixing ``campaign.injector`` with ``campaign.run()`` never repeats
+        the golden execution.
+        """
+        if self._injector is None:
+            self._injector = FaultInjector(
+                self.program,
+                backend=self.engine.backend,
+                max_instructions=self.config.max_instructions,
+                golden=self.engine.golden_run(),
+            )
+        return self._injector
 
     # -- site selection ------------------------------------------------------------
 
     def select_sites(self) -> List[FaultSite]:
         """Sample (or enumerate) the fault sites of the configured scope."""
-        universe = self.injector.sites
-        scope = [self.config.unit_scope]
-        if self.config.sample_size is None:
-            return list(universe.iter_sites(scope))
-        return universe.sample(
-            self.config.sample_size, units=scope, seed=self.config.seed
-        )
+        return self.engine.select_sites()
 
     # -- campaign execution ----------------------------------------------------------
 
     def run_model(
-        self, fault_model: FaultModel, sites: Optional[Sequence[FaultSite]] = None
+        self,
+        fault_model: FaultModel,
+        sites: Optional[Sequence[FaultSite]] = None,
+        progress: Optional[ProgressCallback] = None,
     ) -> CampaignResult:
         """Run the campaign for a single fault model."""
-        start = time.perf_counter()
-        golden = self.injector.golden_run()
-        if sites is None:
-            sites = self.select_sites()
-        result = CampaignResult(
-            workload=self.program.name,
-            fault_model=fault_model,
-            unit_scope=self.config.unit_scope,
-            golden_instructions=golden.instructions,
-            golden_cycles=golden.cycles,
-            golden_transactions=len(golden.transactions),
-        )
-        for site in sites:
-            fault = PermanentFault(site=site, model=fault_model)
-            faulty = self.injector.run_with_fault(fault)
-            comparison = compare_runs(golden, faulty)
-            result.outcomes.append(
-                InjectionOutcome(
-                    fault=fault,
-                    failure_class=comparison.failure_class,
-                    detection_cycle=comparison.detection_cycle,
-                    faulty_instructions=faulty.instructions,
-                )
-            )
-        result.simulation_seconds = time.perf_counter() - start
-        return result
+        return self.engine.run_model(fault_model, sites=sites, progress=progress)
 
-    def run(self) -> Dict[FaultModel, CampaignResult]:
+    def run(
+        self, progress: Optional[ProgressCallback] = None
+    ) -> Dict[FaultModel, CampaignResult]:
         """Run the campaign for every configured fault model.
 
-        The same site sample is reused across fault models so that the models
-        are compared on identical fault populations (as in the paper, where
-        the same nodes receive stuck-at-0, stuck-at-1 and open-line faults).
+        One golden run and one site sample are shared across the models; with
+        ``config.n_workers > 1`` the injection jobs execute on a process pool
+        and yield results bit-identical to the serial scheduler's.
         """
-        sites = self.select_sites()
-        return {
-            model: self.run_model(model, sites=sites)
-            for model in self.config.fault_models
-        }
+        return self.engine.run(progress=progress)
 
 
 def run_iu_campaign(
@@ -124,6 +124,7 @@ def run_iu_campaign(
     sample_size: Optional[int] = 200,
     fault_models: Sequence[FaultModel] = ALL_FAULT_MODELS,
     seed: int = 2015,
+    n_workers: int = 1,
 ) -> Dict[FaultModel, CampaignResult]:
     """Convenience wrapper: campaign over the integer-unit nodes (Figure 5)."""
     config = CampaignConfig(
@@ -131,6 +132,7 @@ def run_iu_campaign(
         sample_size=sample_size,
         fault_models=list(fault_models),
         seed=seed,
+        n_workers=n_workers,
     )
     return FaultInjectionCampaign(program, config).run()
 
@@ -140,6 +142,7 @@ def run_cmem_campaign(
     sample_size: Optional[int] = 200,
     fault_models: Sequence[FaultModel] = ALL_FAULT_MODELS,
     seed: int = 2015,
+    n_workers: int = 1,
 ) -> Dict[FaultModel, CampaignResult]:
     """Convenience wrapper: campaign over the cache-memory nodes (Figure 6)."""
     config = CampaignConfig(
@@ -147,5 +150,6 @@ def run_cmem_campaign(
         sample_size=sample_size,
         fault_models=list(fault_models),
         seed=seed,
+        n_workers=n_workers,
     )
     return FaultInjectionCampaign(program, config).run()

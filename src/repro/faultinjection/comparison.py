@@ -14,7 +14,6 @@ from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.iss.trace import OffCoreTransaction
-from repro.leon3.core import RtlExecutionResult
 
 
 class FailureClass(enum.Enum):
@@ -60,10 +59,16 @@ def _first_divergence(
     return None
 
 
-def compare_runs(
-    golden: RtlExecutionResult, faulty: RtlExecutionResult
-) -> ComparisonResult:
-    """Compare a faulty run against the golden run of the same workload."""
+def compare_runs(golden, faulty) -> ComparisonResult:
+    """Compare a faulty run against the golden run of the same workload.
+
+    Accepts any pair of run results exposing the off-core observables
+    (``transactions``, ``transaction_cycles``, ``normal_exit``, ``trap_kind``,
+    ``halted``, ``cycles``) — both the backend-neutral
+    :class:`~repro.engine.backend.RunResult` and the native
+    :class:`~repro.leon3.core.RtlExecutionResult` qualify, so long as golden
+    and faulty come from the same backend.
+    """
     divergence = _first_divergence(golden.transactions, faulty.transactions)
 
     if divergence is None:

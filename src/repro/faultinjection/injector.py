@@ -1,76 +1,96 @@
-"""Fault injector: applies saboteurs to a core and runs golden/faulty executions.
+"""Fault injector: golden/faulty executions over an execution backend.
 
-The injector owns one :class:`~repro.leon3.core.Leon3Core` instance and reuses
-it across injection runs (clearing faults and restoring the memory image in
-between), which keeps campaign times reasonable without changing results.
+Since the :mod:`repro.engine` refactor the injector is a thin compatibility
+view over :class:`~repro.engine.backend.Leon3RtlBackend` (or any other
+backend): it owns one backend instance and reuses it across injection runs
+(the backend resets state and restores the memory image in between), which
+keeps campaign times reasonable without changing results.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Optional
 
+from repro.engine.backend import (
+    ExecutionBackend,
+    Leon3RtlBackend,
+    RunResult,
+    WATCHDOG_FACTOR,
+    WATCHDOG_SLACK,
+    watchdog_budget,
+)
 from repro.isa.assembler import Program
-from repro.leon3.core import Leon3Core, RtlExecutionResult
+from repro.leon3.core import Leon3Core
 from repro.rtl.faults import PermanentFault
 from repro.rtl.sites import SiteUniverse
 
-#: Head-room factor applied to the golden instruction count to detect hangs.
-WATCHDOG_FACTOR = 2.0
-WATCHDOG_SLACK = 1_000
+__all__ = [
+    "FaultInjector",
+    "WATCHDOG_FACTOR",
+    "WATCHDOG_SLACK",
+    "watchdog_budget",
+]
 
 
 class FaultInjector:
-    """Runs a program on the structural core, with or without faults."""
+    """Runs a program on an execution backend, with or without faults."""
 
-    def __init__(self, program: Program, core: Optional[Leon3Core] = None,
-                 max_instructions: int = 400_000):
+    def __init__(
+        self,
+        program: Program,
+        core: Optional[Leon3Core] = None,
+        max_instructions: int = 400_000,
+        backend: Optional[ExecutionBackend] = None,
+        golden: Optional[RunResult] = None,
+    ):
         self.program = program
-        self.core = core if core is not None else Leon3Core()
+        if backend is None:
+            backend = Leon3RtlBackend(core=core)
+        self.backend = backend
         self.max_instructions = max_instructions
-        self._golden: Optional[RtlExecutionResult] = None
-        self.core.load_program(program)
+        #: Pre-seeded by callers that already ran the golden reference (e.g.
+        #: the campaign façade sharing the engine's cached run).
+        self._golden = golden
+        self.backend.prepare(program)
+
+    @property
+    def core(self) -> Leon3Core:
+        """The underlying structural core (RTL backend only)."""
+        return self.backend.core  # type: ignore[attr-defined]
 
     # -- golden run ----------------------------------------------------------------
 
-    def golden_run(self) -> RtlExecutionResult:
+    def golden_run(self) -> RunResult:
         """Fault-free reference run (cached)."""
         if self._golden is None:
-            self.core.clear_faults()
-            self.core.reload()
-            self._golden = self.core.run(max_instructions=self.max_instructions)
-            if not self._golden.normal_exit:
+            golden = self.backend.run(max_instructions=self.max_instructions)
+            if not golden.normal_exit:
                 raise RuntimeError(
                     f"golden run of {self.program.name!r} did not exit normally "
-                    f"(trap={self._golden.trap_kind}, "
-                    f"instructions={self._golden.instructions})"
+                    f"(trap={golden.trap_kind}, "
+                    f"instructions={golden.instructions})"
                 )
+            self._golden = golden
         return self._golden
 
     @property
     def sites(self) -> SiteUniverse:
-        return self.core.sites
+        return self.backend.sites
 
     # -- faulty runs ------------------------------------------------------------------
 
     def faulty_budget(self) -> int:
         """Instruction budget for faulty runs (watchdog limit)."""
-        golden = self.golden_run()
-        return int(golden.instructions * WATCHDOG_FACTOR) + WATCHDOG_SLACK
+        return watchdog_budget(self.golden_run().instructions)
 
-    def run_with_fault(self, fault: PermanentFault) -> RtlExecutionResult:
+    def run_with_fault(self, fault: PermanentFault) -> RunResult:
         """Run the program with a single permanent *fault* active."""
         return self.run_with_faults([fault])
 
-    def run_with_faults(self, faults: Iterable[PermanentFault]) -> RtlExecutionResult:
+    def run_with_faults(self, faults: Iterable[PermanentFault]) -> RunResult:
         """Run the program with several simultaneous faults active.
 
         Single faults are the paper's fault model; multi-fault support exists
         for extension studies (e.g. common-cause analysis).
         """
-        budget = self.faulty_budget()
-        self.core.clear_faults()
-        self.core.reload()
-        self.core.inject(faults)
-        result = self.core.run(max_instructions=budget)
-        self.core.clear_faults()
-        return result
+        return self.backend.run(max_instructions=self.faulty_budget(), faults=faults)
