@@ -83,6 +83,13 @@ def main() -> int:
     print(f"  speedup            : {serial_s / parallel_s:4.2f}x "
           f"(on {os.cpu_count()} CPU(s))")
 
+    parallel_meaningful = (os.cpu_count() or 1) > 1
+    if not parallel_meaningful:
+        print("  WARNING: only one CPU is available — the parallel figure "
+              "cannot beat serial here; the recorded ~1.0x speedup is a "
+              "machine property, not a scheduler regression "
+              "(parallel_meaningful=false in the baseline)")
+
     for model in serial_results:
         serial_pf = serial_results[model].failure_probability
         parallel_pf = parallel_results[model].failure_probability
@@ -101,6 +108,9 @@ def main() -> int:
         "injections": injections,
         "seed": args.seed,
         "cpu_count": os.cpu_count(),
+        # False on single-CPU machines: the parallel numbers there measure
+        # pool overhead, not scaling, and must not be read as a regression.
+        "parallel_meaningful": parallel_meaningful,
         "python": platform.python_version(),
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "serial": {

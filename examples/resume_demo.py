@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Resume demo: kill a campaign mid-run, resume it, get bit-identical results.
+
+The campaign result store (:mod:`repro.store`) makes campaigns durable: every
+finished injection is committed to SQLite under a content-addressed campaign
+key, so an interruption — a crash, a SIGINT, a pre-empted cluster job — loses
+at most the current commit chunk, and a repeated campaign is a pure cache hit.
+
+This script demonstrates (and asserts) the two guarantees end-to-end:
+
+1. run a reference campaign uninterrupted, without any store,
+2. run the same campaign store-backed and kill it part-way through
+   (an exception from the progress callback stands in for the crash),
+3. resume it — only the missing injections execute — and check the per-model
+   ``Pf`` breakdowns are **bit-identical** to the uninterrupted run,
+4. run it once more: a pure cache hit, zero injections executed.
+
+Run with:  python examples/resume_demo.py
+
+It exits non-zero if any of the assertions fail, so CI uses it as the
+interrupt-and-resume smoke test.
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.engine import CampaignConfig, CampaignEngine
+from repro.rtl.faults import FaultModel
+from repro.store import CampaignStore
+from repro.workloads import build_program
+
+WORKLOAD = "intbench"
+SAMPLE_SIZE = 4
+SEED = 2015
+KILL_AFTER = 5  # injections before the simulated crash
+
+
+class SimulatedCrash(Exception):
+    pass
+
+
+def config(store_path=None) -> CampaignConfig:
+    return CampaignConfig(
+        unit_scope="iu",
+        sample_size=SAMPLE_SIZE,
+        fault_models=[FaultModel.STUCK_AT_1, FaultModel.STUCK_AT_0],
+        seed=SEED,
+        store_path=store_path,
+    )
+
+
+def main() -> int:
+    program = build_program(WORKLOAD)
+    store_path = str(Path(tempfile.mkdtemp()) / "campaigns.sqlite")
+
+    # --- 1. the uninterrupted reference ------------------------------------
+    reference = CampaignEngine(program, config()).run()
+    total = sum(result.injections for result in reference.values())
+    print(f"reference run     : {total} injections, "
+          f"Pf = { {m.value: round(r.failure_probability, 4) for m, r in reference.items()} }")
+
+    # --- 2. the same campaign, killed mid-run ------------------------------
+    def crash_after(done, _total, _outcome):
+        if done >= KILL_AFTER:
+            raise SimulatedCrash
+
+    try:
+        CampaignEngine(program, config(store_path)).run(progress=crash_after)
+        print("ERROR: the simulated crash did not fire", file=sys.stderr)
+        return 1
+    except SimulatedCrash:
+        pass
+    with CampaignStore(store_path) as store:
+        (info,) = store.list_campaigns()
+        committed = info.done_jobs
+    print(f"interrupted run   : killed after {KILL_AFTER}/{total}, "
+          f"{committed} outcomes committed (key {info.key[:12]})")
+    assert 0 < committed < total, "interrupt should leave a partial campaign"
+
+    # --- 3. resume: only the missing injections execute ---------------------
+    resumed = CampaignEngine(program, config(store_path)).run()
+    with CampaignStore(store_path) as store:
+        counters = store.counters()
+    executed_total = counters["jobs_executed"]
+    print(f"resumed run       : executed {executed_total - committed} missing "
+          f"injections, served {committed} from the store")
+    for model, result in reference.items():
+        assert resumed[model].outcomes == result.outcomes, (
+            f"resumed outcomes diverge for {model.value}"
+        )
+        assert resumed[model].failure_probability == result.failure_probability, (
+            f"resumed Pf diverges for {model.value}"
+        )
+    assert executed_total == total, (
+        f"every injection must execute exactly once across interrupt+resume "
+        f"(executed {executed_total}, campaign total {total})"
+    )
+    print("                    Pf breakdowns bit-identical to the reference ✓")
+
+    # --- 4. repeat: a pure cache hit ----------------------------------------
+    cached = CampaignEngine(program, config(store_path)).run()
+    with CampaignStore(store_path) as store:
+        counters = store.counters()
+    assert counters["jobs_executed"] == total, "cache hit must execute nothing"
+    assert counters["campaign_hits"] == 1
+    for model, result in reference.items():
+        assert cached[model].outcomes == result.outcomes
+    print("repeated run      : pure cache hit, 0 injections executed ✓")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,15 @@ campaigns of the paper.  Every campaign goes through the unified
 :mod:`repro.engine` layer, so ``n_workers`` transparently fans the injection
 jobs out to a multiprocessing pool with results bit-identical to a serial
 run (same seed, same jobs — only faster).
+
+Every driver additionally accepts ``store_path``: the path of a
+:class:`repro.store.CampaignStore` database through which the driver is
+memoized.  Campaign outcomes are committed there under content-addressed
+keys as they stream in, so an interrupted driver resumes where it stopped
+and a repeated invocation with unchanged inputs executes **zero** new
+injections — results are served from the store (Table 1 characterisations
+and the Section 4.2 timing comparison are memoized as store artifacts the
+same way).
 """
 
 from __future__ import annotations
@@ -64,13 +73,55 @@ DEFAULT_SEED = 2015
 def table1_characterization(
     workloads: Sequence[str] = TABLE1_WORKLOADS,
     full_size: bool = True,
+    store_path: Optional[str] = None,
 ) -> Dict[str, WorkloadCharacterization]:
-    """Characterise the workloads on the ISS (Table 1 of the paper)."""
+    """Characterise the workloads on the ISS (Table 1 of the paper).
+
+    With *store_path*, each characterisation is memoized in the store under
+    the digest of the assembled program, so repeated invocations skip the
+    ISS runs entirely.
+    """
+    if store_path is not None:
+        from repro.store import CampaignStore
+
+        with CampaignStore(store_path) as store:
+            return {
+                name: _characterize_memoized(store, name, full_size)
+                for name in workloads
+            }
     characterizations: Dict[str, WorkloadCharacterization] = {}
     for name in workloads:
         program = build_program(name, full_size=full_size)
         characterizations[name] = characterize_program(program, name=name)
     return characterizations
+
+
+def _characterize_memoized(store, name: str, full_size: bool):
+    """One Table 1 row, served from the store when its key is unchanged."""
+    from dataclasses import asdict
+
+    from repro.core.diversity import WorkloadCharacterization
+    from repro.isa.instructions import FunctionalUnit
+    from repro.store import memo_key, program_digest
+
+    program = build_program(name, full_size=full_size)
+    key = memo_key(
+        "table1", {"program": program_digest(program), "name": name}
+    )
+    cached = store.memo_get(key)
+    if cached is not None:
+        cached["unit_diversity"] = {
+            FunctionalUnit(unit): count
+            for unit, count in cached["unit_diversity"].items()
+        }
+        return WorkloadCharacterization(**cached)
+    characterization = characterize_program(program, name=name)
+    payload = asdict(characterization)
+    payload["unit_diversity"] = {
+        unit.value: count for unit, count in payload["unit_diversity"].items()
+    }
+    store.memo_put(key, "table1", payload)
+    return characterization
 
 
 # ---------------------------------------------------------------------------
@@ -86,8 +137,14 @@ def _run_campaign(
     iterations: Optional[int] = None,
     dataset: int = 0,
     n_workers: int = 1,
+    store_path: Optional[str] = None,
 ) -> Dict[FaultModel, CampaignResult]:
-    """Run one engine campaign: RTL backend, shared golden run and site sample."""
+    """Run one engine campaign: RTL backend, shared golden run and site sample.
+
+    *store_path* makes the campaign durable and memoized through the
+    :mod:`repro.store` subsystem (content-addressed key: program bytes, site
+    sample, models, seed, backend, budget).
+    """
     program = build_program(workload, iterations=iterations, dataset=dataset)
     config = CampaignConfig(
         unit_scope=unit_scope,
@@ -95,6 +152,7 @@ def _run_campaign(
         fault_models=list(fault_models),
         seed=seed,
         n_workers=n_workers,
+        store_path=store_path,
     )
     return CampaignEngine(program, config, backend_factory=Leon3RtlBackend).run()
 
@@ -131,6 +189,7 @@ def figure3_input_data(
     sample_size: int = DEFAULT_SAMPLE_SIZE,
     seed: int = DEFAULT_SEED,
     n_workers: int = 1,
+    store_path: Optional[str] = None,
 ) -> InputDataExperiment:
     """Input-data-variation experiment (Figure 3).
 
@@ -142,13 +201,13 @@ def figure3_input_data(
     for member in SUBSET_A_MEMBERS:
         results = _run_campaign(
             f"excerpt_{member}", IU_SCOPE, [FaultModel.STUCK_AT_1], sample_size, seed,
-            n_workers=n_workers,
+            n_workers=n_workers, store_path=store_path,
         )
         experiment.subset_a[member] = results[FaultModel.STUCK_AT_1].failure_probability
     for member in SUBSET_B_MEMBERS:
         results = _run_campaign(
             f"excerpt_{member}", IU_SCOPE, [FaultModel.STUCK_AT_1], sample_size, seed,
-            n_workers=n_workers,
+            n_workers=n_workers, store_path=store_path,
         )
         experiment.subset_b[member] = results[FaultModel.STUCK_AT_1].failure_probability
     return experiment
@@ -175,13 +234,14 @@ def figure4_iterations(
     sample_size: int = DEFAULT_SAMPLE_SIZE,
     seed: int = DEFAULT_SEED,
     n_workers: int = 1,
+    store_path: Optional[str] = None,
 ) -> List[IterationPoint]:
     """Iteration-count experiment (Figure 4, rspeed with 2/4/10 iterations)."""
     points: List[IterationPoint] = []
     for count in iteration_counts:
         results = _run_campaign(
             workload, IU_SCOPE, [FaultModel.STUCK_AT_1], sample_size, seed,
-            iterations=count, n_workers=n_workers,
+            iterations=count, n_workers=n_workers, store_path=store_path,
         )
         result = results[FaultModel.STUCK_AT_1]
         points.append(
@@ -206,11 +266,13 @@ def figure5_iu_faults(
     sample_size: int = DEFAULT_SAMPLE_SIZE,
     seed: int = DEFAULT_SEED,
     n_workers: int = 1,
+    store_path: Optional[str] = None,
 ) -> Dict[str, Dict[FaultModel, CampaignResult]]:
     """Fault-injection experiments at integer-unit nodes (Figure 5)."""
     return {
         workload: _run_campaign(
-            workload, IU_SCOPE, fault_models, sample_size, seed, n_workers=n_workers
+            workload, IU_SCOPE, fault_models, sample_size, seed,
+            n_workers=n_workers, store_path=store_path,
         )
         for workload in workloads
     }
@@ -222,11 +284,13 @@ def figure6_cmem_faults(
     sample_size: int = DEFAULT_SAMPLE_SIZE,
     seed: int = DEFAULT_SEED,
     n_workers: int = 1,
+    store_path: Optional[str] = None,
 ) -> Dict[str, Dict[FaultModel, CampaignResult]]:
     """Fault-injection experiments at cache-memory nodes (Figure 6)."""
     return {
         workload: _run_campaign(
-            workload, CMEM_SCOPE, fault_models, sample_size, seed, n_workers=n_workers
+            workload, CMEM_SCOPE, fault_models, sample_size, seed,
+            n_workers=n_workers, store_path=store_path,
         )
         for workload in workloads
     }
@@ -244,6 +308,7 @@ def figure7_correlation(
     fault_model: FaultModel = FaultModel.STUCK_AT_1,
     unit_scope: str = IU_SCOPE,
     n_workers: int = 1,
+    store_path: Optional[str] = None,
 ) -> CorrelationResult:
     """Correlate diversity (ISS) with measured Pf (RTL) — Figure 7.
 
@@ -264,7 +329,7 @@ def figure7_correlation(
         characterization = characterize_program(program, name=workload)
         results = _run_campaign(
             workload, unit_scope, [fault_model], sample_size, seed,
-            n_workers=n_workers,
+            n_workers=n_workers, store_path=store_path,
         )
         result = results[fault_model]
         points.append(
@@ -277,7 +342,8 @@ def figure7_correlation(
         )
     if include_excerpts:
         experiment = figure3_input_data(
-            sample_size=sample_size, seed=seed, n_workers=n_workers
+            sample_size=sample_size, seed=seed, n_workers=n_workers,
+            store_path=store_path,
         )
         subset_a_program = build_program(f"excerpt_{next(iter(SUBSET_A_MEMBERS))}")
         subset_b_program = build_program(f"excerpt_{next(iter(SUBSET_B_MEMBERS))}")
@@ -327,6 +393,7 @@ def simulation_time_comparison(
     sample_size: int = 30,
     seed: int = DEFAULT_SEED,
     n_workers: int = 1,
+    store_path: Optional[str] = None,
 ) -> SimulationTimeComparison:
     """Measure the RTL-vs-ISS simulation cost ratio (Section 4.2).
 
@@ -336,14 +403,37 @@ def simulation_time_comparison(
     API: one RTL campaign of *sample_size* injections (engine +
     :class:`~repro.engine.Leon3RtlBackend`) is timed against *sample_size*
     fault-free re-executions on the :class:`~repro.engine.IssBackend`.
+
+    With *store_path* the measured comparison is memoized: repeated
+    invocations return the recorded timings (of the original execution)
+    without re-running either simulator.
     """
     program = build_program(workload)
+    memo_address = None
+    if store_path is not None:
+        from repro.store import CampaignStore, memo_key, program_digest
+
+        memo_address = memo_key(
+            "simtime",
+            {
+                "program": program_digest(program),
+                "sample_size": sample_size,
+                "seed": seed,
+                "workload": workload,
+            },
+        )
+        with CampaignStore(store_path) as store:
+            memo = store.memo_get(memo_address)
+        if memo is not None:
+            return SimulationTimeComparison(**memo)
+
     config = CampaignConfig(
         unit_scope=IU_SCOPE,
         sample_size=sample_size,
         fault_models=[FaultModel.STUCK_AT_1],
         seed=seed,
         n_workers=n_workers,
+        store_path=store_path,
     )
     engine = CampaignEngine(program, config, backend_factory=Leon3RtlBackend)
     result = engine.run_model(FaultModel.STUCK_AT_1)
@@ -351,9 +441,17 @@ def simulation_time_comparison(
         program, IssBackend, runs=sample_size, max_instructions=config.max_instructions
     )
 
-    return SimulationTimeComparison(
+    comparison = SimulationTimeComparison(
         workload=workload,
         experiments=sample_size,
         rtl_seconds=result.simulation_seconds,
         iss_seconds=iss_seconds,
     )
+    if memo_address is not None:
+        from dataclasses import asdict
+
+        from repro.store import CampaignStore
+
+        with CampaignStore(store_path) as store:
+            store.memo_put(memo_address, "simtime", asdict(comparison))
+    return comparison

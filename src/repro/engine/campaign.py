@@ -14,6 +14,16 @@ This is the load-bearing orchestration layer of the framework.  A campaign is
 Schedulers are required to be result-transparent: for the same plan, every
 scheduler yields bit-identical ``Pf`` breakdowns (the test suite enforces
 serial == multiprocessing).
+
+Campaigns can additionally be made **durable** through the
+:mod:`repro.store` subsystem: with a :class:`~repro.store.CampaignStore`
+(``run(store=...)``, or ``CampaignConfig.store_path``) every finished outcome
+is committed in chunks under the campaign's content-addressed key, an
+interrupted campaign resumes from its last committed outcome, and a repeated
+campaign is a pure cache hit that executes zero new injections.  Stored and
+freshly executed outcomes are merged through an ordered reorder buffer, so a
+resumed campaign aggregates in exactly the same order as an uninterrupted one
+(bit-identical results, enforced by ``tests/test_store.py``).
 """
 
 from __future__ import annotations
@@ -30,10 +40,14 @@ from repro.rtl.sites import FaultSite
 
 from repro.engine.backend import ExecutionBackend, Leon3RtlBackend, RunResult
 from repro.engine.jobs import CampaignPlan, OutcomeRecord, plan_jobs
-from repro.engine.schedulers import make_scheduler
+from repro.engine.schedulers import KNOWN_SCHEDULERS, make_scheduler
 
 #: Progress callback: (completed jobs, total jobs, outcome just finished).
 ProgressCallback = Callable[[int, int, InjectionOutcome], None]
+
+#: Outcomes per store transaction: small enough that an interrupt loses at
+#: most a few seconds of simulation, large enough to amortise the commit.
+STORE_COMMIT_CHUNK = 16
 
 
 @dataclass
@@ -59,6 +73,38 @@ class CampaignConfig:
     scheduler: Optional[str] = None
     #: Jobs per scheduler batch (``None`` = derived from the plan size).
     chunk_size: Optional[int] = None
+    #: Path of a :class:`~repro.store.CampaignStore` SQLite database; when
+    #: set, outcomes are committed there and repeated campaigns are served
+    #: from the store instead of re-executing injections.
+    store_path: Optional[str] = None
+    #: Reuse outcomes already committed under this campaign's key (resume
+    #: interrupted campaigns, serve complete ones as pure cache hits).
+    #: ``False`` forces re-execution, overwriting any stored outcomes.
+    resume: bool = True
+
+    def __post_init__(self) -> None:
+        # Fail at configuration time with a clear message, not deep inside a
+        # worker pool half-way through a golden run.
+        if self.n_workers < 1:
+            raise ValueError(f"n_workers must be >= 1, got {self.n_workers}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.scheduler is not None and self.scheduler not in KNOWN_SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r} "
+                f"(expected one of {KNOWN_SCHEDULERS})"
+            )
+        if self.sample_size is not None and self.sample_size < 1:
+            raise ValueError(
+                f"sample_size must be >= 1 or None (all sites), "
+                f"got {self.sample_size}"
+            )
+        if self.max_instructions < 1:
+            raise ValueError(
+                f"max_instructions must be >= 1, got {self.max_instructions}"
+            )
+        if not self.fault_models:
+            raise ValueError("fault_models must name at least one fault model")
 
     def scopes(self) -> List[str]:
         return [self.unit_scope]
@@ -151,27 +197,52 @@ class CampaignEngine:
         fault_models: Optional[Sequence[FaultModel]] = None,
         sites: Optional[Sequence[FaultSite]] = None,
         progress: Optional[ProgressCallback] = None,
+        store=None,
     ) -> Dict[FaultModel, CampaignResult]:
         """Execute the campaign and aggregate per-fault-model results.
 
         Outcomes are folded into the result objects as they stream in;
         *progress* (if given) fires after every finished injection with
         ``(done, total, outcome)``.
+
+        *store* (a :class:`~repro.store.CampaignStore`, or implicitly one
+        opened from ``config.store_path``) makes the campaign durable: jobs
+        whose outcomes are already committed under this campaign's content
+        key are served from the store and only the missing ones execute.
         """
         start = time.perf_counter()
+        owns_store = False
+        if store is None and self.config.store_path is not None:
+            # Imported lazily: the store subsystem sits beside the engine and
+            # only campaigns that opt into persistence pay for it.
+            from repro.store import CampaignStore
+
+            store = CampaignStore(self.config.store_path)
+            owns_store = True
+        try:
+            if store is None:
+                return self._run_direct(fault_models, sites, progress, start)
+            return self._run_stored(store, fault_models, sites, progress, start)
+        finally:
+            if owns_store:
+                store.close()
+
+    def _run_direct(
+        self,
+        fault_models: Optional[Sequence[FaultModel]],
+        sites: Optional[Sequence[FaultSite]],
+        progress: Optional[ProgressCallback],
+        start: float,
+    ) -> Dict[FaultModel, CampaignResult]:
+        """The store-less path: plan, schedule, aggregate in stream order."""
         plan = self.plan(fault_models=fault_models, sites=sites)
         golden = plan.golden
-        results: Dict[FaultModel, CampaignResult] = {
-            model: CampaignResult(
-                workload=self.program.name,
-                fault_model=model,
-                unit_scope=self.config.unit_scope,
-                golden_instructions=golden.instructions,
-                golden_cycles=golden.cycles,
-                golden_transactions=len(golden.transactions),
-            )
-            for model in plan.fault_models
-        }
+        results = self._make_results(
+            plan.fault_models,
+            golden.instructions,
+            golden.cycles,
+            len(golden.transactions),
+        )
 
         done = 0
 
@@ -190,30 +261,191 @@ class CampaignEngine:
         # pool via ordered imap), so the streamed appends above are already
         # the canonical per-model result lists.
         records = scheduler.execute(plan, on_outcome)
+        self._attribute_seconds(results, records, records, start)
+        return results
 
-        # Per-model simulation cost: the measured seconds of that model's
-        # faulty runs, plus an even share of the campaign overhead (golden
-        # run, planning, scheduling) not attributable to any one job.
+    def _run_stored(
+        self,
+        store,
+        fault_models: Optional[Sequence[FaultModel]],
+        sites: Optional[Sequence[FaultSite]],
+        progress: Optional[ProgressCallback],
+        start: float,
+    ) -> Dict[FaultModel, CampaignResult]:
+        """The durable path: serve committed outcomes, execute only the rest.
+
+        Stored and fresh records meet in a reorder buffer that folds them in
+        job-index order, so the aggregated results are bit-identical to a
+        single uninterrupted run whatever the commit pattern was.
+        """
+        config = self.config
+        models = tuple(
+            fault_models if fault_models is not None else config.fault_models
+        )
+        site_list = list(sites) if sites is not None else self.select_sites()
+        jobs = plan_jobs(site_list, models, self.program.name)
+        session = store.begin_campaign(
+            program=self.program,
+            sites=site_list,
+            fault_models=models,
+            seed=config.seed,
+            unit_scope=config.unit_scope,
+            sample_size=config.sample_size,
+            max_instructions=config.max_instructions,
+            backend_name=self.backend.name,
+            backend_factory=self.backend_factory,
+            total_jobs=len(jobs),
+        )
+        if not config.resume:
+            session.reset()
+        stored = session.stored_records() if config.resume else []
+        done_indices = {record.job.index for record in stored}
+        remaining = [job for job in jobs if job.index not in done_indices]
+
+        # A full cache hit is served without touching the golden run: the
+        # reference stats were persisted when the campaign first executed.
+        golden_stats = session.golden_stats()
+        if remaining or golden_stats is None:
+            golden = self.golden_run()
+            golden_stats = {
+                "instructions": golden.instructions,
+                "cycles": golden.cycles,
+                "transactions": len(golden.transactions),
+            }
+            session.record_golden(**golden_stats)
+        results = self._make_results(
+            models,
+            golden_stats["instructions"],
+            golden_stats["cycles"],
+            golden_stats["transactions"],
+        )
+        if stored and not remaining:
+            session.register_hit()
+
+        # Reorder buffer: fold records strictly in job-index order (the
+        # canonical aggregation order), even when the committed prefix has
+        # gaps that fresh jobs fill in from a parallel scheduler.
+        done = 0
+        next_index = 0
+        pending: Dict[int, OutcomeRecord] = {}
+
+        def fold(record: OutcomeRecord) -> None:
+            nonlocal done
+            done += 1
+            outcome = record.to_outcome()
+            results[record.job.fault_model].outcomes.append(outcome)
+            if progress is not None:
+                progress(done, len(jobs), outcome)
+
+        def push(record: OutcomeRecord) -> None:
+            nonlocal next_index
+            pending[record.job.index] = record
+            while next_index in pending:
+                fold(pending.pop(next_index))
+                next_index += 1
+
+        all_records: List[OutcomeRecord] = list(stored)
+        commit_buffer: List[OutcomeRecord] = []
+        executed = 0
+
+        def on_outcome(record: OutcomeRecord) -> None:
+            nonlocal executed
+            # Buffer for commit before surfacing the record: an exception
+            # from the progress callback (the canonical interrupt) reaches
+            # the finally-flush below with this record already buffered, so
+            # no finished work is lost.  A hard kill (SIGKILL, power loss)
+            # can still lose up to one uncommitted chunk.
+            commit_buffer.append(record)
+            all_records.append(record)
+            if len(commit_buffer) >= STORE_COMMIT_CHUNK:
+                session.commit(commit_buffer)
+                executed += len(commit_buffer)
+                commit_buffer.clear()
+            push(record)
+
+        try:
+            for record in stored:
+                push(record)
+            if remaining:
+                subplan = CampaignPlan(
+                    program=self.program,
+                    backend_factory=self.backend_factory,
+                    unit_scope=config.unit_scope,
+                    fault_models=models,
+                    sites=site_list,
+                    jobs=remaining,
+                    max_instructions=config.max_instructions,
+                    backend=self.backend,
+                    golden=self.golden_run(),
+                )
+                scheduler = make_scheduler(
+                    config.scheduler, config.n_workers, config.chunk_size
+                )
+                scheduler.execute(subplan, on_outcome)
+        finally:
+            if commit_buffer:
+                session.commit(commit_buffer)
+                executed += len(commit_buffer)
+                commit_buffer.clear()
+            store.bump("jobs_executed", executed)
+            store.bump("jobs_cached", len(stored))
+
+        if next_index == len(jobs):
+            session.mark_complete()
+        fresh = all_records[len(stored):]
+        self._attribute_seconds(results, all_records, fresh, start)
+        return results
+
+    def _make_results(
+        self,
+        models: Sequence[FaultModel],
+        golden_instructions: int,
+        golden_cycles: int,
+        golden_transactions: int,
+    ) -> Dict[FaultModel, CampaignResult]:
+        return {
+            model: CampaignResult(
+                workload=self.program.name,
+                fault_model=model,
+                unit_scope=self.config.unit_scope,
+                golden_instructions=golden_instructions,
+                golden_cycles=golden_cycles,
+                golden_transactions=golden_transactions,
+            )
+            for model in models
+        }
+
+    @staticmethod
+    def _attribute_seconds(
+        results: Dict[FaultModel, CampaignResult],
+        all_records: Sequence[OutcomeRecord],
+        fresh_records: Sequence[OutcomeRecord],
+        start: float,
+    ) -> None:
+        """Per-model simulation cost: the measured seconds of that model's
+        faulty runs (stored records keep the seconds of their original
+        execution), plus an even share of this run's overhead (golden run,
+        planning, scheduling) not attributable to any one job."""
         elapsed = time.perf_counter() - start
-        job_seconds = sum(record.seconds for record in records)
+        job_seconds = sum(record.seconds for record in fresh_records)
         overhead = max(0.0, elapsed - job_seconds) / max(1, len(results))
         model_seconds: Dict[FaultModel, float] = {model: 0.0 for model in results}
-        for record in records:
+        for record in all_records:
             model_seconds[record.job.fault_model] += record.seconds
         for model, result in results.items():
             result.simulation_seconds = model_seconds[model] + overhead
-        return results
 
     def run_model(
         self,
         fault_model: FaultModel,
         sites: Optional[Sequence[FaultSite]] = None,
         progress: Optional[ProgressCallback] = None,
+        store=None,
     ) -> CampaignResult:
         """Run the campaign for a single fault model."""
-        return self.run(fault_models=[fault_model], sites=sites, progress=progress)[
-            fault_model
-        ]
+        return self.run(
+            fault_models=[fault_model], sites=sites, progress=progress, store=store
+        )[fault_model]
 
 
 def reference_run_seconds(

@@ -30,6 +30,10 @@ from repro.engine.jobs import CampaignPlan, InjectionJob, OutcomeRecord
 
 OutcomeCallback = Callable[[OutcomeRecord], None]
 
+#: Scheduler names accepted by :func:`make_scheduler` (and validated eagerly
+#: by :class:`~repro.engine.campaign.CampaignConfig`).
+KNOWN_SCHEDULERS = ("serial", "process")
+
 
 def execute_job(
     backend: ExecutionBackend,
@@ -162,4 +166,6 @@ def make_scheduler(
         return SerialScheduler()
     if scheduler == "process":
         return MultiprocessingScheduler(max(1, n_workers), chunk_size=chunk_size)
-    raise ValueError(f"unknown scheduler {scheduler!r} (expected 'serial' or 'process')")
+    raise ValueError(
+        f"unknown scheduler {scheduler!r} (expected one of {KNOWN_SCHEDULERS})"
+    )

@@ -125,14 +125,23 @@ def run_iu_campaign(
     fault_models: Sequence[FaultModel] = ALL_FAULT_MODELS,
     seed: int = 2015,
     n_workers: int = 1,
+    store_path: Optional[str] = None,
+    resume: bool = True,
 ) -> Dict[FaultModel, CampaignResult]:
-    """Convenience wrapper: campaign over the integer-unit nodes (Figure 5)."""
+    """Convenience wrapper: campaign over the integer-unit nodes (Figure 5).
+
+    With *store_path* the campaign is durable and memoized: an interrupted
+    run resumes from its last committed outcome, a repeated run is a pure
+    cache hit (see :mod:`repro.store`).
+    """
     config = CampaignConfig(
         unit_scope=IU_SCOPE,
         sample_size=sample_size,
         fault_models=list(fault_models),
         seed=seed,
         n_workers=n_workers,
+        store_path=store_path,
+        resume=resume,
     )
     return FaultInjectionCampaign(program, config).run()
 
@@ -143,13 +152,20 @@ def run_cmem_campaign(
     fault_models: Sequence[FaultModel] = ALL_FAULT_MODELS,
     seed: int = 2015,
     n_workers: int = 1,
+    store_path: Optional[str] = None,
+    resume: bool = True,
 ) -> Dict[FaultModel, CampaignResult]:
-    """Convenience wrapper: campaign over the cache-memory nodes (Figure 6)."""
+    """Convenience wrapper: campaign over the cache-memory nodes (Figure 6).
+
+    *store_path*/*resume* behave as in :func:`run_iu_campaign`.
+    """
     config = CampaignConfig(
         unit_scope=CMEM_SCOPE,
         sample_size=sample_size,
         fault_models=list(fault_models),
         seed=seed,
         n_workers=n_workers,
+        store_path=store_path,
+        resume=resume,
     )
     return FaultInjectionCampaign(program, config).run()

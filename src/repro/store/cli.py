@@ -1,0 +1,414 @@
+"""``repro`` — the command-line front end of the campaign result store.
+
+Drives store-backed campaigns end-to-end without writing any Python:
+
+.. code-block:: console
+
+    repro campaign run --workload rspeed --scope iu --sites 40
+    repro campaign resume --key 3f2a        # continue an interrupted campaign
+    repro campaign status                   # progress of every stored campaign
+    repro campaign report --key 3f2a        # Pf breakdown, zero simulation
+    repro store ls                          # stored campaigns
+    repro store gc                          # drop incomplete campaigns
+
+The store path defaults to ``$REPRO_STORE`` or ``campaigns.sqlite`` in the
+working directory.  Campaign keys may be abbreviated to any unique prefix.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional, Sequence
+
+from repro.engine import CampaignConfig, CampaignEngine, IssBackend, Leon3RtlBackend
+from repro.faultinjection.comparison import FailureClass
+from repro.rtl.faults import ALL_FAULT_MODELS, FaultModel
+from repro.workloads import all_workloads, build_program
+
+from repro.store.keys import backend_identity, campaign_key
+from repro.store.store import CampaignInfo, CampaignStore, StoreError
+
+DEFAULT_STORE = os.environ.get("REPRO_STORE", "campaigns.sqlite")
+
+#: Backend name -> picklable zero-argument factory, as the engine needs it.
+BACKEND_FACTORIES = {"rtl": Leon3RtlBackend, "iss": IssBackend}
+#: Default unit scope per backend (the ISS only has architectural sites).
+DEFAULT_SCOPES = {"rtl": "iu", "iss": "arch.regfile"}
+
+
+class CliError(RuntimeError):
+    """User-facing CLI failure (bad arguments, unknown keys, ...)."""
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+def _parse_models(spec: Optional[str]) -> List[FaultModel]:
+    if not spec or spec == "all":
+        return list(ALL_FAULT_MODELS)
+    models = []
+    for token in spec.split(","):
+        token = token.strip()
+        try:
+            models.append(FaultModel(token))
+        except ValueError:
+            valid = ", ".join(model.value for model in FaultModel)
+            raise CliError(f"unknown fault model {token!r} (expected: {valid})")
+    return models
+
+
+def _parse_sites(spec: str) -> Optional[int]:
+    if spec == "all":
+        return None
+    try:
+        return int(spec)
+    except ValueError:
+        raise CliError(f"--sites expects an integer or 'all', got {spec!r}")
+
+
+def _build_workload(name: str):
+    try:
+        return build_program(name)
+    except KeyError:
+        known = ", ".join(sorted(all_workloads()))
+        raise CliError(f"unknown workload {name!r} (known: {known})")
+
+
+def _format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    def line(cells):
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+    out = [line(headers), line("-" * width for width in widths)]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def _breakdown_rows(store: CampaignStore, info: CampaignInfo):
+    """(model, injections, failures, Pf, histogram) rows from stored outcomes."""
+    breakdown = store.breakdown(info.key)
+    rows = []
+    for model_value in info.config.get("fault_models", sorted(breakdown)):
+        histogram = breakdown.get(model_value, {})
+        injections = sum(histogram.values())
+        failures = sum(
+            count
+            for failure_class, count in histogram.items()
+            if FailureClass(failure_class).is_failure
+        )
+        pf = failures / injections if injections else 0.0
+        rows.append((model_value, injections, failures, pf, histogram))
+    return rows
+
+
+def _print_breakdown(store: CampaignStore, info: CampaignInfo) -> None:
+    rows = [
+        (model, str(injections), str(failures), f"{pf:.4f}")
+        for model, injections, failures, pf, _ in _breakdown_rows(store, info)
+    ]
+    print(_format_table(("fault model", "injections", "failures", "Pf"), rows))
+
+
+def _progress_printer(stream=sys.stderr):
+    def progress(done: int, total: int, outcome) -> None:
+        step = max(1, total // 20)
+        if done % step == 0 or done == total:
+            stream.write(f"\r  {done}/{total} injections")
+            stream.flush()
+            if done == total:
+                stream.write("\n")
+    return progress
+
+
+def _key_for(engine: CampaignEngine, config: CampaignConfig, program) -> str:
+    """The content key this engine's campaign will be stored under."""
+    return campaign_key(
+        program=program,
+        sites=engine.select_sites(),
+        fault_models=config.fault_models,
+        seed=config.seed,
+        backend_id=backend_identity(engine.backend.name, engine.backend_factory),
+        unit_scope=config.unit_scope,
+        sample_size=config.sample_size,
+        max_instructions=config.max_instructions,
+    )
+
+
+def _run_engine(
+    store: CampaignStore,
+    config: CampaignConfig,
+    program,
+    backend: str,
+    quiet: bool,
+) -> int:
+    """Run one store-backed campaign and report Pf + cache statistics."""
+    before = store.counters()
+    engine = CampaignEngine(
+        program, config, backend_factory=BACKEND_FACTORIES[backend]
+    )
+    key = _key_for(engine, config, program)
+    progress = None if quiet else _progress_printer()
+    engine.run(progress=progress, store=store)
+    after = store.counters()
+    executed = after["jobs_executed"] - before["jobs_executed"]
+    cached = after["jobs_cached"] - before["jobs_cached"]
+
+    info = store.campaign_info(key)
+    print(f"campaign {info.key[:12]} ({info.workload}, {info.unit_scope}, "
+          f"{info.backend}, seed {info.seed})")
+    print(f"  executed {executed} injections, served {cached} from the store")
+    _print_breakdown(store, info)
+    return 0
+
+
+def _resolve_info(store: CampaignStore, key_prefix: str) -> CampaignInfo:
+    return store.campaign_info(store.resolve_key(key_prefix))
+
+
+# ---------------------------------------------------------------------------
+# Subcommands
+# ---------------------------------------------------------------------------
+
+def cmd_campaign_run(args) -> int:
+    models = _parse_models(args.models)
+    scope = args.scope if args.scope is not None else DEFAULT_SCOPES[args.backend]
+    program = _build_workload(args.workload)
+    config = CampaignConfig(
+        unit_scope=scope,
+        sample_size=_parse_sites(args.sites),
+        fault_models=models,
+        seed=args.seed,
+        max_instructions=args.max_instructions,
+        n_workers=args.workers,
+        chunk_size=args.chunk_size,
+        resume=not args.no_resume,
+    )
+    with CampaignStore(args.store) as store:
+        return _run_engine(store, config, program, args.backend, args.quiet)
+
+
+def cmd_campaign_resume(args) -> int:
+    with CampaignStore(args.store) as store:
+        info = _resolve_info(store, args.key)
+        config_json = info.config
+        backend = config_json.get("backend", "rtl")
+        if backend not in BACKEND_FACTORIES:
+            raise CliError(f"campaign {info.key[:12]} used unknown backend {backend!r}")
+        program = _build_workload(config_json["workload"])
+        config = CampaignConfig(
+            unit_scope=config_json["unit_scope"],
+            sample_size=config_json["sample_size"],
+            fault_models=[FaultModel(v) for v in config_json["fault_models"]],
+            seed=config_json["seed"],
+            max_instructions=config_json["max_instructions"],
+            n_workers=args.workers,
+            resume=True,
+        )
+        # The campaign is only resumable if the registry still builds the
+        # exact program (and site sample) the key was derived from.
+        factory = BACKEND_FACTORIES[backend]
+        engine = CampaignEngine(program, config, backend_factory=factory)
+        rebuilt_key = _key_for(engine, config, program)
+        if rebuilt_key != info.key:
+            raise CliError(
+                f"campaign {info.key[:12]} cannot be rebuilt from workload "
+                f"{config_json['workload']!r} (it was created from a customised "
+                f"program or an older code version); resume it through the "
+                f"Python API that created it"
+            )
+        return _run_engine(store, config, program, backend, args.quiet)
+
+
+def cmd_campaign_status(args) -> int:
+    with CampaignStore(args.store) as store:
+        infos = (
+            [_resolve_info(store, args.key)] if args.key else store.list_campaigns()
+        )
+        if not infos:
+            print("store is empty")
+            return 0
+        rows = [
+            (
+                info.key[:12],
+                info.workload,
+                info.unit_scope,
+                info.backend,
+                f"{info.done_jobs}/{info.total_jobs}",
+                f"{info.progress * 100:5.1f}%",
+                info.status,
+                str(info.hit_count),
+            )
+            for info in infos
+        ]
+        print(_format_table(
+            ("key", "workload", "scope", "backend", "done", "%", "status", "hits"),
+            rows,
+        ))
+        counters = store.counters()
+        print(f"store totals: {counters['jobs_executed']} executed, "
+              f"{counters['jobs_cached']} served from cache, "
+              f"{counters['campaign_hits']} full cache hits")
+    return 0
+
+
+def cmd_campaign_report(args) -> int:
+    with CampaignStore(args.store) as store:
+        info = _resolve_info(store, args.key)
+        if args.json:
+            payload = {
+                "key": info.key,
+                "workload": info.workload,
+                "unit_scope": info.unit_scope,
+                "backend": info.backend,
+                "seed": info.seed,
+                "status": info.status,
+                "total_jobs": info.total_jobs,
+                "done_jobs": info.done_jobs,
+                "models": [
+                    {
+                        "fault_model": model,
+                        "injections": injections,
+                        "failures": failures,
+                        "failure_probability": pf,
+                        "classification": histogram,
+                    }
+                    for model, injections, failures, pf, histogram
+                    in _breakdown_rows(store, info)
+                ],
+            }
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"campaign {info.key[:12]} ({info.workload}, {info.unit_scope}, "
+                  f"{info.backend}, seed {info.seed}) — {info.status}, "
+                  f"{info.done_jobs}/{info.total_jobs} outcomes")
+            _print_breakdown(store, info)
+    return 0
+
+
+def cmd_store_ls(args) -> int:
+    return cmd_campaign_status(args)
+
+
+def cmd_store_gc(args) -> int:
+    with CampaignStore(args.store) as store:
+        removed = store.gc(all_campaigns=args.all)
+    scope = "all campaigns" if args.all else "incomplete campaigns"
+    print(f"removed {removed['campaigns']} {scope}, "
+          f"{removed['outcomes']} outcomes, {removed['memos']} memos")
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def _add_store_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", default=DEFAULT_STORE, metavar="PATH",
+        help=f"store database path (default: {DEFAULT_STORE})",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Durable, resumable, content-addressed fault-injection "
+                    "campaigns (DAC'15 reproduction).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    campaign = commands.add_parser("campaign", help="run and inspect campaigns")
+    campaign_commands = campaign.add_subparsers(dest="subcommand", required=True)
+
+    run = campaign_commands.add_parser(
+        "run", help="run a store-backed campaign (cache hit if already stored)"
+    )
+    run.add_argument("--workload", required=True, help="registry workload name")
+    run.add_argument("--backend", choices=sorted(BACKEND_FACTORIES),
+                     default="rtl", help="simulator backend (default: rtl)")
+    run.add_argument("--scope", default=None,
+                     help="unit scope (default: iu for rtl, arch.regfile for iss)")
+    run.add_argument("--sites", default="60", metavar="N|all",
+                     help="fault sites to sample, or 'all' (default: 60)")
+    run.add_argument("--models", default="all",
+                     help="comma-separated fault models (default: all three)")
+    run.add_argument("--seed", type=int, default=2015)
+    run.add_argument("--workers", type=int, default=1,
+                     help="worker processes (default: 1, serial)")
+    run.add_argument("--chunk-size", type=int, default=None,
+                     help="jobs per scheduler batch")
+    run.add_argument("--max-instructions", type=int, default=400_000)
+    run.add_argument("--no-resume", action="store_true",
+                     help="re-execute even if outcomes are already stored")
+    run.add_argument("--quiet", action="store_true", help="no progress output")
+    _add_store_option(run)
+    run.set_defaults(handler=cmd_campaign_run)
+
+    resume = campaign_commands.add_parser(
+        "resume", help="resume an interrupted campaign by key"
+    )
+    resume.add_argument("--key", required=True, help="campaign key (unique prefix)")
+    resume.add_argument("--workers", type=int, default=1)
+    resume.add_argument("--quiet", action="store_true", help="no progress output")
+    _add_store_option(resume)
+    resume.set_defaults(handler=cmd_campaign_resume)
+
+    status = campaign_commands.add_parser(
+        "status", help="progress of stored campaigns"
+    )
+    status.add_argument("--key", default=None, help="campaign key (unique prefix)")
+    _add_store_option(status)
+    status.set_defaults(handler=cmd_campaign_status)
+
+    report = campaign_commands.add_parser(
+        "report", help="Pf breakdown from stored outcomes (no simulation)"
+    )
+    report.add_argument("--key", required=True, help="campaign key (unique prefix)")
+    report.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_store_option(report)
+    report.set_defaults(handler=cmd_campaign_report)
+
+    store = commands.add_parser("store", help="manage the result store")
+    store_commands = store.add_subparsers(dest="subcommand", required=True)
+
+    ls = store_commands.add_parser("ls", help="list stored campaigns")
+    ls.add_argument("--key", default=None, help="campaign key (unique prefix)")
+    _add_store_option(ls)
+    ls.set_defaults(handler=cmd_store_ls)
+
+    gc = store_commands.add_parser(
+        "gc", help="delete incomplete campaigns and vacuum the database"
+    )
+    gc.add_argument("--all", action="store_true",
+                    help="delete every campaign and memo, not just incomplete ones")
+    _add_store_option(gc)
+    gc.set_defaults(handler=cmd_store_gc)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (CliError, StoreError, ValueError) as error:
+        # ValueError covers CampaignConfig's eager validation (bad --workers,
+        # --chunk-size, --sites, ...): surface it as a clean CLI error.
+        print(f"repro: error: {error}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        print("\nrepro: interrupted — committed outcomes are kept; "
+              "rerun `repro campaign resume --key <key>` to continue",
+              file=sys.stderr)
+        return 130
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,107 @@
+"""Content-addressed campaign keys.
+
+A campaign key is the SHA-256 digest of *exactly what produced the results*:
+the workload bytes, the fault-site sample, the fault models, the sampling
+seed, the backend identity, and the code-relevant configuration (instruction
+budget, watchdog parameters, unit scope).  Two campaigns with the same key
+are guaranteed to produce bit-identical ``Pf`` breakdowns — schedulers are
+result-transparent — so the key is a safe cache address for stored outcomes.
+
+Deliberately *not* part of the key: ``n_workers``, ``scheduler`` and
+``chunk_size`` (execution strategy, not results), ``store_path``/``resume``
+(persistence plumbing) and wall-clock timing.
+
+Bump :data:`KEY_VERSION` whenever a change to the simulators or the
+comparison logic can alter campaign outcomes; old stored campaigns then stop
+matching instead of serving stale results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Callable, Sequence
+
+from repro.engine.backend import WATCHDOG_FACTOR, WATCHDOG_SLACK
+from repro.isa.assembler import Program
+from repro.rtl.faults import FaultModel
+from repro.rtl.sites import FaultSite
+
+#: Version of the key derivation (and of everything behind it that can change
+#: results).  Part of every digest.
+KEY_VERSION = 1
+
+
+def _digest(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def program_digest(program: Program) -> str:
+    """Digest of the executable content of *program* (name excluded).
+
+    Two workloads that assemble to the same image are interchangeable for
+    campaign purposes, whatever they are called.
+    """
+    return _digest(
+        {
+            "text": program.text,
+            "data": program.data.hex(),
+            "text_base": program.text_base,
+            "data_base": program.data_base,
+            "entry_point": program.entry_point,
+        }
+    )
+
+
+def site_token(site: FaultSite) -> str:
+    """Canonical string form of one fault site."""
+    location = site.net if site.index is None else f"{site.net}[{site.index}]"
+    return f"{location}.bit{site.bit}@{site.unit}"
+
+
+def backend_identity(
+    backend_name: str, backend_factory: Callable[[], object]
+) -> str:
+    """Identity string of the simulator behind a campaign.
+
+    Combines the backend's short name with the factory's qualified name, so
+    e.g. a future JIT-ed ISS adapter never aliases the interpreter's results.
+    """
+    module = getattr(backend_factory, "__module__", "") or ""
+    qualname = getattr(
+        backend_factory, "__qualname__", backend_factory.__class__.__name__
+    )
+    return f"{backend_name}:{module}.{qualname}"
+
+
+def campaign_key(
+    program: Program,
+    sites: Sequence[FaultSite],
+    fault_models: Sequence[FaultModel],
+    seed: int,
+    backend_id: str,
+    unit_scope: str,
+    sample_size,
+    max_instructions: int,
+) -> str:
+    """The content address of one campaign (64 hex chars)."""
+    return _digest(
+        {
+            "key_version": KEY_VERSION,
+            "program": program_digest(program),
+            "sites": [site_token(site) for site in sites],
+            "fault_models": [model.value for model in fault_models],
+            "seed": seed,
+            "backend": backend_id,
+            "unit_scope": unit_scope,
+            "sample_size": sample_size,
+            "max_instructions": max_instructions,
+            "watchdog": [WATCHDOG_FACTOR, WATCHDOG_SLACK],
+        }
+    )
+
+
+def memo_key(kind: str, payload: dict) -> str:
+    """Content address of a non-campaign artifact (Table 1 rows, timings)."""
+    return _digest({"key_version": KEY_VERSION, "kind": kind, "payload": payload})

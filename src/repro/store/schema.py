@@ -1,0 +1,100 @@
+"""SQLite schema of the campaign result store.
+
+Three tables:
+
+* ``campaigns`` — one row per content-addressed campaign: the plan metadata
+  (workload, scope, models, seed, backend, budget), the golden-run stats, a
+  completion status and bookkeeping timestamps/hit counts.  ``config_json``
+  preserves enough of the originating configuration for ``repro campaign
+  resume`` to rebuild the plan from the key alone.
+* ``outcomes`` — the streamed :class:`~repro.engine.jobs.OutcomeRecord`s,
+  one row per finished injection, keyed by ``(campaign_key, job_index)``.
+  Rows carry everything needed to reconstruct the record bit-identically.
+* ``memos`` — content-addressed JSON artifacts that are not campaigns
+  (Table 1 characterisations, simulation-time comparisons).
+
+``counters`` holds monotonically increasing store-wide statistics
+(``jobs_executed``, ``jobs_cached``, ``campaign_hits``), which is how tests
+and operators observe that a repeated campaign really executed zero new
+injections.
+"""
+
+from __future__ import annotations
+
+#: Bump on any incompatible schema change; the store refuses to open newer
+#: databases and transparently creates missing tables on older ones.
+SCHEMA_VERSION = 1
+
+SCHEMA_STATEMENTS = (
+    """
+    CREATE TABLE IF NOT EXISTS campaigns (
+        key                 TEXT PRIMARY KEY,
+        workload            TEXT NOT NULL,
+        unit_scope          TEXT NOT NULL,
+        backend             TEXT NOT NULL,
+        seed                INTEGER NOT NULL,
+        sample_size         INTEGER,
+        max_instructions    INTEGER NOT NULL,
+        fault_models        TEXT NOT NULL,
+        total_jobs          INTEGER NOT NULL,
+        status              TEXT NOT NULL DEFAULT 'running'
+                            CHECK (status IN ('running', 'complete')),
+        golden_instructions INTEGER,
+        golden_cycles       INTEGER,
+        golden_transactions INTEGER,
+        hit_count           INTEGER NOT NULL DEFAULT 0,
+        config_json         TEXT NOT NULL DEFAULT '{}',
+        created_at          TEXT NOT NULL,
+        updated_at          TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS outcomes (
+        campaign_key        TEXT NOT NULL
+                            REFERENCES campaigns(key) ON DELETE CASCADE,
+        job_index           INTEGER NOT NULL,
+        fault_model         TEXT NOT NULL,
+        net                 TEXT NOT NULL,
+        bit                 INTEGER NOT NULL,
+        unit                TEXT NOT NULL,
+        cell_index          INTEGER,
+        failure_class       TEXT NOT NULL,
+        detection_cycle     INTEGER,
+        faulty_instructions INTEGER NOT NULL,
+        seconds             REAL NOT NULL DEFAULT 0.0,
+        PRIMARY KEY (campaign_key, job_index)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS memos (
+        key        TEXT PRIMARY KEY,
+        kind       TEXT NOT NULL,
+        payload    TEXT NOT NULL,
+        created_at TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS counters (
+        name  TEXT PRIMARY KEY,
+        value INTEGER NOT NULL DEFAULT 0
+    )
+    """,
+    """
+    CREATE INDEX IF NOT EXISTS idx_outcomes_campaign
+        ON outcomes (campaign_key)
+    """,
+)
+
+
+def apply_schema(connection) -> None:
+    """Create missing tables and stamp/verify the schema version."""
+    (version,) = connection.execute("PRAGMA user_version").fetchone()
+    if version > SCHEMA_VERSION:
+        raise RuntimeError(
+            f"store was written by a newer schema (version {version}, "
+            f"supported {SCHEMA_VERSION}); refusing to open"
+        )
+    with connection:
+        for statement in SCHEMA_STATEMENTS:
+            connection.execute(statement)
+        connection.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")

@@ -1,0 +1,451 @@
+"""The campaign result store: durable, resumable, content-addressed campaigns.
+
+:class:`CampaignStore` persists campaign plans and their streamed
+:class:`~repro.engine.jobs.OutcomeRecord`s in a single SQLite database
+(stdlib-only).  Campaigns are addressed by the content key of
+:func:`repro.store.keys.campaign_key`, which gives the two properties the
+methodology needs:
+
+* **Resumability** — an interrupted campaign keeps every outcome committed up
+  to the last chunk; re-running the same campaign executes only the missing
+  jobs and merges, bit-identically, with the stored prefix.
+* **Incrementality** — a campaign whose key already has all its outcomes is a
+  pure cache hit: zero injections re-execute, results are served straight
+  from the store.
+
+The engine talks to the store through :meth:`CampaignStore.begin_campaign`,
+which returns a :class:`CampaignSession` scoped to one campaign key; the
+session exposes the stored records, chunked commits and completion marking.
+Only the scheduler's parent process ever writes, so a single connection with
+SQLite's own locking is sufficient.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+from dataclasses import dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.engine.jobs import InjectionJob, OutcomeRecord
+from repro.faultinjection.comparison import FailureClass
+from repro.isa.assembler import Program
+from repro.rtl.faults import FaultModel
+from repro.rtl.sites import FaultSite
+
+from repro.store.keys import backend_identity, campaign_key
+from repro.store.schema import apply_schema
+
+#: Store-wide counters maintained by the engine integration.
+COUNTER_NAMES = ("jobs_executed", "jobs_cached", "campaign_hits")
+
+
+def _utcnow() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+@dataclass(frozen=True)
+class CampaignInfo:
+    """One row of ``repro store ls`` / ``repro campaign status``."""
+
+    key: str
+    workload: str
+    unit_scope: str
+    backend: str
+    seed: int
+    sample_size: Optional[int]
+    total_jobs: int
+    done_jobs: int
+    status: str
+    hit_count: int
+    created_at: str
+    updated_at: str
+    config: dict
+
+    @property
+    def complete(self) -> bool:
+        return self.status == "complete" and self.done_jobs >= self.total_jobs
+
+    @property
+    def progress(self) -> float:
+        if self.total_jobs == 0:
+            return 1.0
+        return self.done_jobs / self.total_jobs
+
+
+class StoreError(RuntimeError):
+    """Raised on store misuse (unknown keys, ambiguous prefixes, ...)."""
+
+
+class CampaignStore:
+    """SQLite-backed persistence for fault-injection campaigns."""
+
+    def __init__(self, path: Union[str, Path] = "campaigns.sqlite"):
+        if str(path) != ":memory:":
+            path = Path(path).expanduser()
+            path.resolve().parent.mkdir(parents=True, exist_ok=True)
+        self.path = str(path)
+        self._conn = sqlite3.connect(self.path, timeout=30.0)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA foreign_keys = ON")
+        if self.path != ":memory:":
+            self._conn.execute("PRAGMA journal_mode = WAL")
+        apply_schema(self._conn)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- campaign sessions (engine hook) ------------------------------------------
+
+    def begin_campaign(
+        self,
+        *,
+        program: Program,
+        sites: Sequence[FaultSite],
+        fault_models: Sequence[FaultModel],
+        seed: int,
+        unit_scope: str,
+        sample_size: Optional[int],
+        max_instructions: int,
+        backend_name: str,
+        backend_factory: Callable[[], object],
+        total_jobs: int,
+    ) -> "CampaignSession":
+        """Open (or create) the campaign row for this exact plan content."""
+        backend_id = backend_identity(backend_name, backend_factory)
+        key = campaign_key(
+            program=program,
+            sites=sites,
+            fault_models=fault_models,
+            seed=seed,
+            backend_id=backend_id,
+            unit_scope=unit_scope,
+            sample_size=sample_size,
+            max_instructions=max_instructions,
+        )
+        config = {
+            "workload": program.name,
+            "unit_scope": unit_scope,
+            "sample_size": sample_size,
+            "seed": seed,
+            "max_instructions": max_instructions,
+            "fault_models": [model.value for model in fault_models],
+            "backend": backend_name,
+        }
+        now = _utcnow()
+        with self._conn:
+            self._conn.execute(
+                """
+                INSERT INTO campaigns (
+                    key, workload, unit_scope, backend, seed, sample_size,
+                    max_instructions, fault_models, total_jobs, status,
+                    config_json, created_at, updated_at
+                ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, 'running', ?, ?, ?)
+                ON CONFLICT (key) DO NOTHING
+                """,
+                (
+                    key,
+                    program.name,
+                    unit_scope,
+                    backend_name,
+                    seed,
+                    sample_size,
+                    max_instructions,
+                    json.dumps(config["fault_models"]),
+                    total_jobs,
+                    json.dumps(config, sort_keys=True),
+                    now,
+                    now,
+                ),
+            )
+        return CampaignSession(store=self, key=key)
+
+    # -- counters ----------------------------------------------------------------
+
+    def bump(self, name: str, delta: int) -> None:
+        if delta == 0:
+            return
+        with self._conn:
+            self._conn.execute(
+                """
+                INSERT INTO counters (name, value) VALUES (?, ?)
+                ON CONFLICT (name) DO UPDATE SET value = value + excluded.value
+                """,
+                (name, delta),
+            )
+
+    def counters(self) -> Dict[str, int]:
+        """Store-wide statistics (executed vs. cache-served jobs)."""
+        values = {name: 0 for name in COUNTER_NAMES}
+        for row in self._conn.execute("SELECT name, value FROM counters"):
+            values[row["name"]] = row["value"]
+        return values
+
+    # -- queries -----------------------------------------------------------------
+
+    def _campaign_row(self, key: str) -> Optional[sqlite3.Row]:
+        return self._conn.execute(
+            "SELECT * FROM campaigns WHERE key = ?", (key,)
+        ).fetchone()
+
+    def resolve_key(self, prefix: str) -> str:
+        """Expand a unique key prefix into the full campaign key."""
+        rows = self._conn.execute(
+            "SELECT key FROM campaigns WHERE key LIKE ? ORDER BY key",
+            (prefix + "%",),
+        ).fetchall()
+        if not rows:
+            raise StoreError(f"no campaign matches key prefix {prefix!r}")
+        if len(rows) > 1:
+            raise StoreError(
+                f"key prefix {prefix!r} is ambiguous "
+                f"({len(rows)} campaigns match)"
+            )
+        return rows[0]["key"]
+
+    def _info_from_row(self, row: sqlite3.Row, done: int) -> CampaignInfo:
+        return CampaignInfo(
+            key=row["key"],
+            workload=row["workload"],
+            unit_scope=row["unit_scope"],
+            backend=row["backend"],
+            seed=row["seed"],
+            sample_size=row["sample_size"],
+            total_jobs=row["total_jobs"],
+            done_jobs=done,
+            status=row["status"],
+            hit_count=row["hit_count"],
+            created_at=row["created_at"],
+            updated_at=row["updated_at"],
+            config=json.loads(row["config_json"]),
+        )
+
+    def campaign_info(self, key: str) -> CampaignInfo:
+        row = self._campaign_row(key)
+        if row is None:
+            raise StoreError(f"no campaign with key {key!r}")
+        (done,) = self._conn.execute(
+            "SELECT COUNT(*) FROM outcomes WHERE campaign_key = ?", (key,)
+        ).fetchone()
+        return self._info_from_row(row, done)
+
+    def list_campaigns(self) -> List[CampaignInfo]:
+        rows = self._conn.execute(
+            """
+            SELECT c.*, COUNT(o.job_index) AS done
+            FROM campaigns c LEFT JOIN outcomes o ON o.campaign_key = c.key
+            GROUP BY c.key ORDER BY c.created_at, c.key
+            """
+        ).fetchall()
+        return [self._info_from_row(row, row["done"]) for row in rows]
+
+    def stored_records(self, key: str) -> List[OutcomeRecord]:
+        """Reconstruct the committed outcome records of a campaign, in order."""
+        row = self._campaign_row(key)
+        if row is None:
+            raise StoreError(f"no campaign with key {key!r}")
+        workload = row["workload"]
+        records: List[OutcomeRecord] = []
+        for outcome in self._conn.execute(
+            "SELECT * FROM outcomes WHERE campaign_key = ? ORDER BY job_index",
+            (key,),
+        ):
+            site = FaultSite(
+                net=outcome["net"],
+                bit=outcome["bit"],
+                unit=outcome["unit"],
+                index=outcome["cell_index"],
+            )
+            job = InjectionJob(
+                index=outcome["job_index"],
+                site=site,
+                fault_model=FaultModel(outcome["fault_model"]),
+                workload=workload,
+            )
+            records.append(
+                OutcomeRecord(
+                    job=job,
+                    failure_class=FailureClass(outcome["failure_class"]),
+                    detection_cycle=outcome["detection_cycle"],
+                    faulty_instructions=outcome["faulty_instructions"],
+                    seconds=outcome["seconds"],
+                )
+            )
+        return records
+
+    def breakdown(self, key: str) -> Dict[str, Dict[str, int]]:
+        """Per-fault-model classification histogram of the stored outcomes."""
+        per_model: Dict[str, Dict[str, int]] = {}
+        for row in self._conn.execute(
+            """
+            SELECT fault_model, failure_class, COUNT(*) AS n
+            FROM outcomes WHERE campaign_key = ?
+            GROUP BY fault_model, failure_class
+            """,
+            (key,),
+        ):
+            per_model.setdefault(row["fault_model"], {})[row["failure_class"]] = (
+                row["n"]
+            )
+        return per_model
+
+    # -- memos (non-campaign artifacts) --------------------------------------------
+
+    def memo_get(self, key: str) -> Optional[dict]:
+        row = self._conn.execute(
+            "SELECT payload FROM memos WHERE key = ?", (key,)
+        ).fetchone()
+        return None if row is None else json.loads(row["payload"])
+
+    def memo_put(self, key: str, kind: str, payload: dict) -> None:
+        with self._conn:
+            self._conn.execute(
+                """
+                INSERT INTO memos (key, kind, payload, created_at)
+                VALUES (?, ?, ?, ?)
+                ON CONFLICT (key) DO UPDATE
+                    SET payload = excluded.payload, kind = excluded.kind
+                """,
+                (key, kind, json.dumps(payload, sort_keys=True), _utcnow()),
+            )
+
+    # -- garbage collection -----------------------------------------------------------
+
+    def gc(self, all_campaigns: bool = False) -> Dict[str, int]:
+        """Delete incomplete campaigns (or everything with ``all_campaigns``).
+
+        Returns the number of campaigns, outcomes and memos removed.  The
+        database is vacuumed afterwards so the space is actually reclaimed.
+        """
+        where = "" if all_campaigns else "WHERE status != 'complete'"
+        with self._conn:
+            (outcomes,) = self._conn.execute(
+                f"""
+                SELECT COUNT(*) FROM outcomes WHERE campaign_key IN
+                    (SELECT key FROM campaigns {where})
+                """
+            ).fetchone()
+            campaigns = self._conn.execute(
+                f"DELETE FROM campaigns {where}"
+            ).rowcount
+            memos = 0
+            if all_campaigns:
+                memos = self._conn.execute("DELETE FROM memos").rowcount
+        self._conn.execute("VACUUM")
+        return {"campaigns": campaigns, "outcomes": outcomes, "memos": memos}
+
+
+@dataclass
+class CampaignSession:
+    """A store handle scoped to one campaign key (what the engine drives)."""
+
+    store: CampaignStore
+    key: str
+
+    # -- state -------------------------------------------------------------------
+
+    @property
+    def info(self) -> CampaignInfo:
+        return self.store.campaign_info(self.key)
+
+    def stored_records(self) -> List[OutcomeRecord]:
+        return self.store.stored_records(self.key)
+
+    # -- writes ------------------------------------------------------------------
+
+    def record_golden(self, instructions: int, cycles: int, transactions: int) -> None:
+        """Persist the golden-run stats (needed to serve pure cache hits)."""
+        with self.store._conn:
+            self.store._conn.execute(
+                """
+                UPDATE campaigns SET golden_instructions = ?, golden_cycles = ?,
+                       golden_transactions = ?, updated_at = ?
+                WHERE key = ?
+                """,
+                (instructions, cycles, transactions, _utcnow(), self.key),
+            )
+
+    def golden_stats(self) -> Optional[Dict[str, int]]:
+        row = self.store._campaign_row(self.key)
+        if row is None or row["golden_instructions"] is None:
+            return None
+        return {
+            "instructions": row["golden_instructions"],
+            "cycles": row["golden_cycles"],
+            "transactions": row["golden_transactions"],
+        }
+
+    def commit(self, records: Sequence[OutcomeRecord]) -> None:
+        """Commit one chunk of finished outcomes atomically (idempotent)."""
+        if not records:
+            return
+        rows = [
+            (
+                self.key,
+                record.job.index,
+                record.job.fault_model.value,
+                record.job.site.net,
+                record.job.site.bit,
+                record.job.site.unit,
+                record.job.site.index,
+                record.failure_class.value,
+                record.detection_cycle,
+                record.faulty_instructions,
+                record.seconds,
+            )
+            for record in records
+        ]
+        with self.store._conn:
+            self.store._conn.executemany(
+                """
+                INSERT INTO outcomes (
+                    campaign_key, job_index, fault_model, net, bit, unit,
+                    cell_index, failure_class, detection_cycle,
+                    faulty_instructions, seconds
+                ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                ON CONFLICT (campaign_key, job_index) DO NOTHING
+                """,
+                rows,
+            )
+            self.store._conn.execute(
+                "UPDATE campaigns SET updated_at = ? WHERE key = ?",
+                (_utcnow(), self.key),
+            )
+
+    def reset(self) -> None:
+        """Drop the committed outcomes (forced re-execution, ``resume=False``)."""
+        with self.store._conn:
+            self.store._conn.execute(
+                "DELETE FROM outcomes WHERE campaign_key = ?", (self.key,)
+            )
+            self.store._conn.execute(
+                "UPDATE campaigns SET status = 'running', updated_at = ? "
+                "WHERE key = ?",
+                (_utcnow(), self.key),
+            )
+
+    def mark_complete(self) -> None:
+        with self.store._conn:
+            self.store._conn.execute(
+                "UPDATE campaigns SET status = 'complete', updated_at = ? "
+                "WHERE key = ?",
+                (_utcnow(), self.key),
+            )
+
+    def register_hit(self) -> None:
+        with self.store._conn:
+            self.store._conn.execute(
+                "UPDATE campaigns SET hit_count = hit_count + 1 WHERE key = ?",
+                (self.key,),
+            )
+        self.store.bump("campaign_hits", 1)

@@ -99,6 +99,71 @@ class TestComparison:
         assert comparison.detection_cycle == 30
 
 
+class TestComparisonEdgeCases:
+    """Boundary behaviour of the comparator: empty streams, hang truncation
+    and self-comparison (the NO_EFFECT fixed point)."""
+
+    def test_both_streams_empty_is_no_effect(self):
+        golden = _result_with([])
+        faulty = _result_with([])
+        comparison = compare_runs(golden, faulty)
+        assert comparison.failure_class is FailureClass.NO_EFFECT
+        assert comparison.divergence_index is None
+
+    def test_empty_golden_with_extra_faulty_activity(self):
+        golden = _result_with([])
+        faulty = _result_with([OffCoreTransaction("store", 0x100, 1, 4)])
+        comparison = compare_runs(golden, faulty)
+        assert comparison.failure_class is FailureClass.EXTRA_ACTIVITY
+        assert comparison.divergence_index == 0
+
+    def test_empty_faulty_stream_with_normal_exit_is_missing_activity(self):
+        comparison = compare_runs(GOLDEN, _result_with([]))
+        assert comparison.failure_class is FailureClass.MISSING_ACTIVITY
+        assert comparison.divergence_index == 0
+
+    def test_empty_faulty_stream_from_trap_classified_as_trap(self):
+        faulty = _result_with([], trap="memory", exit_code=None)
+        comparison = compare_runs(GOLDEN, faulty)
+        assert comparison.failure_class is FailureClass.TRAP
+
+    def test_empty_streams_but_hung_faulty_run_is_hang(self):
+        golden = _result_with([])
+        faulty = _result_with([], halted=False, exit_code=None)
+        comparison = compare_runs(golden, faulty)
+        assert comparison.failure_class is FailureClass.HANG
+
+    def test_hang_truncated_stream_detection_falls_back_to_final_cycle(self):
+        # A hang that truncates the stream and carries no per-transaction
+        # cycle stamps must still report a detection cycle (the final one).
+        faulty = _result_with(
+            GOLDEN.transactions[:1], cycles=[], halted=False, exit_code=None
+        )
+        comparison = compare_runs(GOLDEN, faulty)
+        assert comparison.failure_class is FailureClass.HANG
+        assert comparison.divergence_index == 1
+        assert comparison.detection_cycle == faulty.cycles
+
+    def test_hang_with_empty_truncated_stream_detects_at_first_index(self):
+        faulty = _result_with([], halted=False, exit_code=None)
+        comparison = compare_runs(GOLDEN, faulty)
+        assert comparison.failure_class is FailureClass.HANG
+        assert comparison.divergence_index == 0
+
+    def test_golden_self_comparison_is_no_effect(self):
+        comparison = compare_runs(GOLDEN, GOLDEN)
+        assert comparison.failure_class is FailureClass.NO_EFFECT
+        assert not comparison.is_failure
+        assert comparison.divergence_index is None
+        assert comparison.detection_cycle is None
+
+    def test_real_golden_run_self_comparison_is_no_effect(self):
+        program = assemble(SMALL_PROGRAM_SOURCE, name="self_cmp")
+        golden = run_program_rtl(program, max_instructions=100_000)
+        comparison = compare_runs(golden, golden)
+        assert comparison.failure_class is FailureClass.NO_EFFECT
+
+
 class TestResults:
     def _outcome(self, unit="iu.alu.adder", failure=FailureClass.WRONG_DATA, cycle=50):
         site = FaultSite(net="x", bit=0, unit=unit)

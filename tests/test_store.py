@@ -1,0 +1,359 @@
+"""Tests for the campaign result store (persistence, resume, cache hits, CLI).
+
+The two acceptance properties of the subsystem live here:
+
+* a campaign killed mid-run and resumed produces per-model ``Pf`` breakdowns
+  (and outcome lists) **bit-identical** to the same campaign run
+  uninterrupted, and
+* a second invocation of a store-backed campaign (or figure driver) with an
+  unchanged key executes **zero** new injections — observable through the
+  store's persistent counters.
+"""
+
+import dataclasses
+
+import pytest
+
+from conftest import SMALL_PROGRAM_SOURCE
+
+from repro.core.experiments import figure5_iu_faults, table1_characterization
+from repro.engine import CampaignConfig, CampaignEngine
+from repro.isa.assembler import assemble
+from repro.rtl.faults import ALL_FAULT_MODELS, FaultModel
+from repro.store import CampaignStore, StoreError, campaign_key, memo_key
+from repro.store.cli import main as cli_main
+
+
+@pytest.fixture(scope="module")
+def small_program():
+    return assemble(SMALL_PROGRAM_SOURCE, name="small")
+
+
+@pytest.fixture()
+def store_path(tmp_path):
+    return str(tmp_path / "campaigns.sqlite")
+
+
+def _config(store_path=None, **overrides):
+    defaults = dict(
+        unit_scope="iu",
+        sample_size=4,
+        fault_models=[FaultModel.STUCK_AT_1, FaultModel.STUCK_AT_0],
+        seed=11,
+        store_path=store_path,
+    )
+    defaults.update(overrides)
+    return CampaignConfig(**defaults)
+
+
+def _assert_identical(expected, actual):
+    assert expected.keys() == actual.keys()
+    for model in expected:
+        assert expected[model].outcomes == actual[model].outcomes
+        assert (
+            expected[model].failure_probability
+            == actual[model].failure_probability
+        )
+        assert (
+            expected[model].classification_histogram()
+            == actual[model].classification_histogram()
+        )
+        assert expected[model].golden_instructions == actual[model].golden_instructions
+        assert expected[model].golden_cycles == actual[model].golden_cycles
+
+
+class Interrupted(Exception):
+    """Stand-in for a mid-campaign crash/SIGINT raised from the progress hook."""
+
+
+def _interrupt_after(n):
+    def progress(done, total, outcome):
+        if done >= n:
+            raise Interrupted(f"killed after {done}/{total}")
+
+    return progress
+
+
+class TestConfigValidation:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            CampaignConfig(n_workers=0)
+
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError, match="n_workers"):
+            CampaignConfig(n_workers=-2)
+
+    def test_rejects_zero_chunk_size(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            CampaignConfig(chunk_size=0)
+
+    def test_rejects_unknown_scheduler(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            CampaignConfig(scheduler="threads")
+
+    def test_rejects_zero_sample_size(self):
+        with pytest.raises(ValueError, match="sample_size"):
+            CampaignConfig(sample_size=0)
+
+    def test_rejects_empty_fault_models(self):
+        with pytest.raises(ValueError, match="fault_models"):
+            CampaignConfig(fault_models=[])
+
+    def test_accepts_valid_config(self):
+        config = CampaignConfig(
+            n_workers=4, chunk_size=8, scheduler="process", sample_size=None
+        )
+        assert config.n_workers == 4
+
+
+class TestKeys:
+    def _key(self, program, **overrides):
+        params = dict(
+            sites=[],
+            fault_models=list(ALL_FAULT_MODELS),
+            seed=11,
+            backend_id="rtl:repro.engine.backend.Leon3RtlBackend",
+            unit_scope="iu",
+            sample_size=4,
+            max_instructions=400_000,
+        )
+        params.update(overrides)
+        return campaign_key(program=program, **params)
+
+    def test_key_is_deterministic(self, small_program):
+        assert self._key(small_program) == self._key(small_program)
+
+    def test_key_ignores_program_name(self, small_program):
+        renamed = dataclasses.replace(small_program, name="other")
+        assert self._key(small_program) == self._key(renamed)
+
+    def test_key_sensitive_to_every_result_relevant_input(self, small_program):
+        base = self._key(small_program)
+        assert self._key(small_program, seed=12) != base
+        assert self._key(small_program, unit_scope="cmem") != base
+        assert self._key(small_program, max_instructions=100) != base
+        assert (
+            self._key(small_program, fault_models=[FaultModel.STUCK_AT_1]) != base
+        )
+        assert self._key(small_program, backend_id="iss:x.IssBackend") != base
+        changed = dataclasses.replace(
+            small_program, text=list(small_program.text) + [0]
+        )
+        assert self._key(changed) != base
+
+    def test_memo_key_distinguishes_kind_and_payload(self):
+        assert memo_key("table1", {"a": 1}) != memo_key("table1", {"a": 2})
+        assert memo_key("table1", {"a": 1}) != memo_key("simtime", {"a": 1})
+
+
+class TestStoreRoundTrip:
+    def test_outcomes_round_trip_bit_identically(self, small_program, store_path):
+        results = CampaignEngine(small_program, _config(store_path)).run()
+        with CampaignStore(store_path) as store:
+            (info,) = store.list_campaigns()
+            assert info.complete
+            assert info.done_jobs == info.total_jobs == 8
+            records = store.stored_records(info.key)
+        outcomes = [record.to_outcome() for record in records]
+        flattened = (
+            results[FaultModel.STUCK_AT_1].outcomes
+            + results[FaultModel.STUCK_AT_0].outcomes
+        )
+        assert outcomes == flattened
+
+    def test_resolve_key_prefix(self, small_program, store_path):
+        CampaignEngine(small_program, _config(store_path)).run()
+        with CampaignStore(store_path) as store:
+            (info,) = store.list_campaigns()
+            assert store.resolve_key(info.key[:8]) == info.key
+            with pytest.raises(StoreError):
+                store.resolve_key("zz")
+
+
+class TestResume:
+    def test_interrupted_then_resumed_is_bit_identical(
+        self, small_program, store_path
+    ):
+        baseline = CampaignEngine(small_program, _config()).run()
+
+        engine = CampaignEngine(small_program, _config(store_path))
+        with pytest.raises(Interrupted):
+            engine.run(progress=_interrupt_after(3))
+        with CampaignStore(store_path) as store:
+            (info,) = store.list_campaigns()
+            assert info.status == "running"
+            assert 0 < info.done_jobs < info.total_jobs
+            assert store.counters()["jobs_executed"] == info.done_jobs
+
+        resumed = CampaignEngine(small_program, _config(store_path)).run()
+        _assert_identical(baseline, resumed)
+
+        # Every injection executed exactly once across interrupt + resume.
+        with CampaignStore(store_path) as store:
+            assert store.counters()["jobs_executed"] == 8
+            (info,) = store.list_campaigns()
+            assert info.complete
+
+    def test_interrupted_parallel_resumed_serial_is_bit_identical(
+        self, small_program, store_path
+    ):
+        baseline = CampaignEngine(small_program, _config()).run()
+        engine = CampaignEngine(
+            small_program, _config(store_path, n_workers=2, chunk_size=2)
+        )
+        with pytest.raises(Interrupted):
+            engine.run(progress=_interrupt_after(3))
+        resumed = CampaignEngine(small_program, _config(store_path)).run()
+        _assert_identical(baseline, resumed)
+
+    def test_progress_streams_cached_and_fresh_jobs(self, small_program, store_path):
+        engine = CampaignEngine(small_program, _config(store_path))
+        with pytest.raises(Interrupted):
+            engine.run(progress=_interrupt_after(3))
+        seen = []
+        CampaignEngine(small_program, _config(store_path)).run(
+            progress=lambda done, total, outcome: seen.append((done, total))
+        )
+        assert seen == [(i, 8) for i in range(1, 9)]
+
+    def test_resume_false_forces_re_execution(self, small_program, store_path):
+        CampaignEngine(small_program, _config(store_path)).run()
+        CampaignEngine(small_program, _config(store_path, resume=False)).run()
+        with CampaignStore(store_path) as store:
+            assert store.counters()["jobs_executed"] == 16
+            (info,) = store.list_campaigns()
+            assert info.complete
+
+
+class TestCacheHit:
+    def test_second_run_executes_zero_injections(self, small_program, store_path):
+        first = CampaignEngine(small_program, _config(store_path)).run()
+        second = CampaignEngine(small_program, _config(store_path)).run()
+        _assert_identical(first, second)
+        with CampaignStore(store_path) as store:
+            counters = store.counters()
+            (info,) = store.list_campaigns()
+        assert counters["jobs_executed"] == 8  # first run only
+        assert counters["jobs_cached"] == 8  # second run, fully served
+        assert counters["campaign_hits"] == 1
+        assert info.hit_count == 1
+
+    def test_different_seed_is_a_different_campaign(self, small_program, store_path):
+        CampaignEngine(small_program, _config(store_path)).run()
+        CampaignEngine(small_program, _config(store_path, seed=12)).run()
+        with CampaignStore(store_path) as store:
+            assert len(store.list_campaigns()) == 2
+            assert store.counters()["campaign_hits"] == 0
+
+    def test_figure_driver_memoized_through_store(self, store_path):
+        first = figure5_iu_faults(
+            workloads=["intbench"], sample_size=2, store_path=store_path
+        )
+        with CampaignStore(store_path) as store:
+            executed_after_first = store.counters()["jobs_executed"]
+        assert executed_after_first == 2 * len(ALL_FAULT_MODELS)
+
+        second = figure5_iu_faults(
+            workloads=["intbench"], sample_size=2, store_path=store_path
+        )
+        _assert_identical(first["intbench"], second["intbench"])
+        with CampaignStore(store_path) as store:
+            counters = store.counters()
+        assert counters["jobs_executed"] == executed_after_first  # zero new
+        assert counters["campaign_hits"] == 1
+
+    def test_table1_memoized_through_store(self, store_path):
+        first = table1_characterization(
+            workloads=["intbench"], store_path=store_path
+        )
+        second = table1_characterization(
+            workloads=["intbench"], store_path=store_path
+        )
+        assert first == second
+        assert second["intbench"].diversity > 0
+
+
+class TestCli:
+    def _run(self, *argv):
+        return cli_main(list(argv))
+
+    def test_run_status_report_ls_gc(self, store_path, capsys):
+        args = (
+            "--workload", "intbench", "--sites", "2", "--seed", "7",
+            "--store", store_path, "--quiet",
+        )
+        assert self._run("campaign", "run", *args) == 0
+        out_first = capsys.readouterr().out
+        assert "executed 6 injections" in out_first
+
+        # Second invocation: pure cache hit, zero executed.
+        assert self._run("campaign", "run", *args) == 0
+        out_second = capsys.readouterr().out
+        assert "executed 0 injections" in out_second
+        assert "served 6 from the store" in out_second
+
+        assert self._run("campaign", "status", "--store", store_path) == 0
+        out_status = capsys.readouterr().out
+        assert "complete" in out_status and "6/6" in out_status
+
+        with CampaignStore(store_path) as store:
+            (info,) = store.list_campaigns()
+        key_prefix = info.key[:12]
+        assert self._run(
+            "campaign", "report", "--key", key_prefix, "--store", store_path
+        ) == 0
+        assert "Pf" in capsys.readouterr().out
+
+        assert self._run("store", "ls", "--store", store_path) == 0
+        capsys.readouterr()
+        assert self._run("store", "gc", "--store", store_path) == 0
+        assert "removed 0" in capsys.readouterr().out
+
+    def test_cli_resume_completes_interrupted_campaign(self, store_path, capsys):
+        # Interrupt a store-backed campaign through the Python API, with the
+        # exact configuration `repro campaign run` would use...
+        from repro.workloads import build_program
+
+        program = build_program("intbench")
+        config = CampaignConfig(
+            unit_scope="iu", sample_size=2, seed=7, store_path=store_path
+        )
+        engine = CampaignEngine(program, config)
+        with pytest.raises(Interrupted):
+            engine.run(progress=_interrupt_after(2))
+        with CampaignStore(store_path) as store:
+            (info,) = store.list_campaigns()
+            assert not info.complete
+            key = info.key
+
+        # ... then finish it from the CLI by key alone.
+        assert self._run(
+            "campaign", "resume", "--key", key[:10], "--store", store_path,
+            "--quiet",
+        ) == 0
+        out = capsys.readouterr().out
+        assert "executed 4 injections" in out
+        assert "served 2 from the store" in out
+        with CampaignStore(store_path) as store:
+            assert store.campaign_info(key).complete
+
+    def test_unknown_workload_fails_cleanly(self, store_path, capsys):
+        rc = self._run(
+            "campaign", "run", "--workload", "nope", "--store", store_path,
+        )
+        assert rc == 1
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_gc_removes_incomplete_campaigns(self, store_path, capsys):
+        from repro.workloads import build_program
+
+        program = build_program("intbench")
+        config = CampaignConfig(
+            unit_scope="iu", sample_size=2, seed=7, store_path=store_path
+        )
+        with pytest.raises(Interrupted):
+            CampaignEngine(program, config).run(progress=_interrupt_after(2))
+        assert self._run("store", "gc", "--store", store_path) == 0
+        assert "removed 1 incomplete" in capsys.readouterr().out
+        with CampaignStore(store_path) as store:
+            assert store.list_campaigns() == []
