@@ -30,6 +30,7 @@ from typing import Iterable, List, Optional, Protocol, Union, runtime_checkable
 
 from repro.isa.assembler import Program
 from repro.iss.emulator import Emulator, ExecutionResult
+from repro.iss.fastpath import FastEmulator
 from repro.iss.faults import ArchitecturalFault, _FaultyEmulator
 from repro.iss.memory import Memory
 from repro.iss.trace import ExecutionTrace, OffCoreTransaction
@@ -167,12 +168,21 @@ class IssBackend:
     :class:`ArchitecturalFault`.  This is the fault-injection practice the
     paper evaluates ISS simulators against, exposed through the same API as
     the RTL campaigns so experiments can swap backends without new code.
+
+    ``fast`` selects the interpreter: the fast-path
+    :class:`~repro.iss.fastpath.FastEmulator` (decode cache + table
+    dispatch, the default) or the reference :class:`Emulator`.  The two are
+    bit-identical on every observable — ``tests/test_fastpath.py`` enforces
+    it — so the flag is result-transparent: it changes throughput only, and
+    both settings share one campaign-store identity (see
+    :func:`repro.store.keys.backend_identity`).
     """
 
     name = "iss"
 
-    def __init__(self, detailed_trace: bool = False):
+    def __init__(self, detailed_trace: bool = False, fast: bool = True):
         self.detailed_trace = detailed_trace
+        self.fast = fast
         self._program: Optional[Program] = None
         self._sites = SiteUniverse()
         self._sites.add_array(
@@ -196,8 +206,14 @@ class IssBackend:
         arch_faults = [self._to_architectural(fault) for fault in faults]
         if len(arch_faults) > 1:
             raise ValueError("the ISS backend supports a single fault per run")
-        if arch_faults:
-            emulator: Emulator = _FaultyEmulator(
+        if self.fast:
+            emulator: Emulator = FastEmulator(
+                memory=Memory(),
+                detailed_trace=self.detailed_trace,
+                fault=arch_faults[0] if arch_faults else None,
+            )
+        elif arch_faults:
+            emulator = _FaultyEmulator(
                 arch_faults[0], memory=Memory(), detailed_trace=self.detailed_trace
             )
         else:

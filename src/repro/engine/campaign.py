@@ -28,6 +28,7 @@ resumed campaign aggregates in exactly the same order as an uninterrupted one
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
@@ -38,7 +39,12 @@ from repro.leon3.units import IU_SCOPE
 from repro.rtl.faults import ALL_FAULT_MODELS, FaultModel
 from repro.rtl.sites import FaultSite
 
-from repro.engine.backend import ExecutionBackend, Leon3RtlBackend, RunResult
+from repro.engine.backend import (
+    ExecutionBackend,
+    IssBackend,
+    Leon3RtlBackend,
+    RunResult,
+)
 from repro.engine.jobs import CampaignPlan, OutcomeRecord, plan_jobs
 from repro.engine.schedulers import KNOWN_SCHEDULERS, make_scheduler
 
@@ -81,6 +87,16 @@ class CampaignConfig:
     #: interrupted campaigns, serve complete ones as pure cache hits).
     #: ``False`` forces re-execution, overwriting any stored outcomes.
     resume: bool = True
+    #: Interpreter choice for campaigns on the ISS backend: the fast-path
+    #: interpreter (decode cache + table dispatch, bit-identical to the
+    #: reference — enforced by ``tests/test_fastpath.py``), or with ``False``
+    #: the reference interpreter, kept reachable for A/B debugging.  Honoured
+    #: when ``backend_factory`` is the :class:`IssBackend` class or a
+    #: ``functools.partial`` of it that does not itself bind ``fast``; an
+    #: opaque factory (e.g. a lambda) must pass ``fast=`` directly.  Ignored
+    #: by non-ISS backends.  Result-transparent, so deliberately not part of
+    #: the campaign store key.
+    iss_fast: bool = True
 
     def __post_init__(self) -> None:
         # Fail at configuration time with a clear message, not deep inside a
@@ -121,9 +137,43 @@ class CampaignEngine:
     ):
         self.program = program
         self.config = config if config is not None else CampaignConfig()
-        self.backend_factory = backend_factory
+        self.backend_factory = self._bind_iss_interpreter(
+            backend_factory, self.config.iss_fast
+        )
         self._backend: Optional[ExecutionBackend] = None
         self._golden: Optional[RunResult] = None
+
+    @staticmethod
+    def _bind_iss_interpreter(
+        backend_factory: Callable[[], ExecutionBackend], iss_fast: bool
+    ) -> Callable[[], ExecutionBackend]:
+        """Honour ``config.iss_fast`` on IssBackend factories.
+
+        Applies to the bare :class:`IssBackend` class (the CLI and the figure
+        drivers pass it) and to ``functools.partial`` wrappers of it that do
+        not already bind ``fast`` — by keyword or positionally (an explicit
+        binding wins).  The result is a ``functools.partial`` — picklable for
+        the worker pool, and the store collapses it back to the bare class's
+        identity (the flag is result-transparent).  Opaque factories
+        (lambdas, closures) cannot be introspected and must pass ``fast=``
+        themselves.
+        """
+        if backend_factory is IssBackend:
+            return functools.partial(IssBackend, fast=iss_fast)
+        if (
+            isinstance(backend_factory, functools.partial)
+            and backend_factory.func is IssBackend
+            # IssBackend(detailed_trace, fast): two positionals bind fast.
+            and len(backend_factory.args) < 2
+            and "fast" not in (backend_factory.keywords or {})
+        ):
+            return functools.partial(
+                IssBackend,
+                *backend_factory.args,
+                fast=iss_fast,
+                **(backend_factory.keywords or {}),
+            )
+        return backend_factory
 
     # -- planner-local backend ---------------------------------------------------------
 

@@ -24,7 +24,12 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.engine.backend import ExecutionBackend, Leon3RtlBackend
+from repro.engine.backend import (
+    ARCH_REGFILE_UNIT,
+    ExecutionBackend,
+    IssBackend,
+    Leon3RtlBackend,
+)
 from repro.engine.campaign import CampaignConfig, CampaignEngine, ProgressCallback
 from repro.faultinjection.injector import FaultInjector
 from repro.faultinjection.results import CampaignResult
@@ -39,6 +44,7 @@ __all__ = [
     "FaultInjectionCampaign",
     "run_iu_campaign",
     "run_cmem_campaign",
+    "run_iss_campaign",
 ]
 
 
@@ -144,6 +150,39 @@ def run_iu_campaign(
         resume=resume,
     )
     return FaultInjectionCampaign(program, config).run()
+
+
+def run_iss_campaign(
+    program: Program,
+    sample_size: Optional[int] = 200,
+    fault_models: Sequence[FaultModel] = ALL_FAULT_MODELS,
+    seed: int = 2015,
+    n_workers: int = 1,
+    store_path: Optional[str] = None,
+    resume: bool = True,
+    fast: bool = True,
+) -> Dict[FaultModel, CampaignResult]:
+    """Convenience wrapper: ISS-level campaign over the architectural
+    register file (the baseline practice the paper evaluates).
+
+    *fast* selects the fast-path interpreter (default; bit-identical to the
+    reference, just faster) or pins the reference interpreter with ``False``.
+    *store_path*/*resume* behave as in :func:`run_iu_campaign`; either
+    interpreter serves and populates the same stored campaign.
+    """
+    config = CampaignConfig(
+        unit_scope=ARCH_REGFILE_UNIT,
+        sample_size=sample_size,
+        fault_models=list(fault_models),
+        seed=seed,
+        n_workers=n_workers,
+        store_path=store_path,
+        resume=resume,
+        iss_fast=fast,
+    )
+    return FaultInjectionCampaign(
+        program, config, backend_factory=IssBackend
+    ).run()
 
 
 def run_cmem_campaign(

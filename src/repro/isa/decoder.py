@@ -133,3 +133,31 @@ def decode(word: int) -> Instruction:
         )
 
     raise DecodeError(f"unsupported major opcode {op} in word {word:#010x}")
+
+
+#: Word -> Instruction memo behind :func:`decode_cached`.  ``decode`` is a
+#: pure function of the 32-bit word (``Instruction`` is immutable), so the
+#: memo never needs invalidation; the cap only bounds memory against
+#: adversarial word streams (real programs have a few hundred distinct words).
+_DECODE_MEMO: dict = {}
+_DECODE_MEMO_LIMIT = 1 << 16
+
+
+def decode_cached(word: int) -> Instruction:
+    """Memoized :func:`decode`: each distinct word is decoded exactly once.
+
+    This is the decoder half of the ISS fast path: straight-line code and
+    loops re-fetch the same words millions of times, and the shared memo means
+    even a fresh emulator (one per injection run) never re-decodes a word any
+    emulator in this process has seen.  Words that do not decode raise
+    :class:`DecodeError` on every call and are not cached (they trap the run
+    that fetches them, so they are never hot).
+    """
+    word &= 0xFFFFFFFF
+    instruction = _DECODE_MEMO.get(word)
+    if instruction is None:
+        if len(_DECODE_MEMO) >= _DECODE_MEMO_LIMIT:
+            _DECODE_MEMO.clear()
+        instruction = decode(word)
+        _DECODE_MEMO[word] = instruction
+    return instruction

@@ -117,6 +117,25 @@ class InstructionDef:
     def is_memory(self) -> bool:
         return self.reads_memory or self.writes_memory
 
+    @property
+    def alu_base(self) -> str:
+        """Semantics dispatch key: the mnemonic with a trailing ``cc`` stripped.
+
+        ``addcc`` computes the same result as ``add`` (it additionally updates
+        the condition codes, which :attr:`sets_icc` records).  ``ticc`` and
+        the branches (``bcc`` is *branch on carry clear*, not a ``cc``
+        variant of ``b``) are their own operations and keep their mnemonic.
+        Both the reference emulator's ALU dispatch and the fast-path handler
+        table key on this.
+        """
+        if (
+            self.category is not InstructionCategory.BRANCH
+            and self.mnemonic.endswith("cc")
+            and self.mnemonic != "ticc"
+        ):
+            return self.mnemonic[:-2]
+        return self.mnemonic
+
 
 def _units(*names: FunctionalUnit) -> FrozenSet[FunctionalUnit]:
     return frozenset(names)

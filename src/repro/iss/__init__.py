@@ -12,6 +12,7 @@ computed.
 """
 
 from repro.iss.emulator import Emulator, ExecutionResult, SimulationError, TrapEvent
+from repro.iss.fastpath import FastEmulator, verify_bit_identity
 from repro.iss.faults import ArchitecturalFault, IssFaultInjector
 from repro.iss.memory import Memory, MemoryError_
 from repro.iss.timing import TimingModel, TimingReport
@@ -20,6 +21,8 @@ from repro.iss.trace import ExecutionTrace, InstructionRecord
 __all__ = [
     "Emulator",
     "ExecutionResult",
+    "FastEmulator",
+    "verify_bit_identity",
     "SimulationError",
     "TrapEvent",
     "ArchitecturalFault",

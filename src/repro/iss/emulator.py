@@ -165,6 +165,14 @@ class Emulator:
                 trap = TrapEvent("division_by_zero", current_pc)
                 halted = True
                 break
+            except SimulationError as exc:
+                # An instruction without semantics (a decoder/table mismatch)
+                # must surface as a classified trap, not escape the run: in a
+                # multiprocessing campaign an escaping exception kills the
+                # whole worker chunk instead of yielding one TRAP outcome.
+                trap = TrapEvent("simulation_error", current_pc, str(exc))
+                halted = True
+                break
 
             if isinstance(outcome, TrapEvent):
                 trap = outcome
@@ -222,7 +230,8 @@ class Emulator:
             self.registers.write(instruction.rd, self.y_register)
             return None
         if mnemonic == "wr":
-            self.y_register = self._alu_operands(instruction)[0] ^ self._alu_operands(instruction)[1]
+            op1, op2 = self._alu_operands(instruction)
+            self.y_register = op1 ^ op2
             return None
         if defn.is_memory:
             return self._execute_memory(instruction, transactions)
@@ -248,7 +257,7 @@ class Emulator:
         defn = instruction.defn
         mnemonic = defn.mnemonic
         op1, op2 = self._alu_operands(instruction)
-        base = mnemonic[:-2] if mnemonic.endswith("cc") and mnemonic not in ("ticc",) else mnemonic
+        base = defn.alu_base
 
         carry = self.icc.c
         new_icc: Optional[ConditionCodes] = None
@@ -376,16 +385,22 @@ class Emulator:
                 high, low = self.memory.read_double(address)
                 self.registers.write(instruction.rd & ~1, high)
                 self.registers.write((instruction.rd & ~1) | 1, low)
+                loaded = (high << 32) | low
             else:
-                value = self.memory.read_sized(address, defn.access_size)
+                loaded = self.memory.read_sized(address, defn.access_size)
+                value = loaded
                 if defn.sign_extend:
                     bits = defn.access_size * 8
                     if value & (1 << (bits - 1)):
                         value = to_u32(value - (1 << bits))
                 self.registers.write(instruction.rd, value)
             if is_io:
+                # Record the value that actually came over the bus (raw,
+                # before sign extension): a fault that corrupts data read
+                # from the peripheral space must be visible to the off-core
+                # failure comparison, not masked by a hard-coded zero.
                 transactions.append(
-                    OffCoreTransaction("io", address, 0, defn.access_size)
+                    OffCoreTransaction("io", address, loaded, defn.access_size)
                 )
             return None
 

@@ -1,0 +1,860 @@
+"""Fast-path ISS interpreter: per-PC decode cache + precomputed table dispatch.
+
+The reference :class:`~repro.iss.emulator.Emulator` re-reads and re-decodes
+the 32-bit word at every fetch and dispatches each instruction through a
+chain of Python string comparisons — fine as an executable specification,
+but it makes the interpreter (not the campaign engine or the store) the
+throughput ceiling of every ISS campaign.  :class:`FastEmulator` removes
+exactly that overhead while staying **result-transparent**:
+
+* **Decode cache** — each PC decodes once into a :class:`_CachedOp` holding
+  the decoded instruction, its semantics handler and the operand fields
+  pre-extracted (immediates already wrapped to u32, branch/call targets
+  already resolved against the PC).  Straight-line code and loops never
+  touch the decoder again.  A second, process-wide word→``Instruction`` memo
+  (:func:`repro.isa.decoder.decode_cached`) means even a fresh emulator —
+  campaigns build one per injection run — skips the bit-slicing for every
+  word any previous run has decoded.
+
+  *Invalidation rule:* a store whose address lands in a page with cached
+  decodes drops that page's entries, so self-modifying (or fault-corrupted)
+  code re-decodes exactly like the reference interpreter.  All runtime
+  memory writes go through the store handlers, so this is complete for
+  execution; external memory mutation between runs must go through
+  :meth:`FastEmulator.load_program` (which flushes) or
+  :meth:`FastEmulator.flush_decode_cache`.
+
+* **Table dispatch** — semantics are precomputed per
+  :class:`~repro.isa.instructions.InstructionDef`: one handler function per
+  opcode (keyed by :attr:`InstructionDef.alu_base` for the ALU), resolved
+  once at decode-cache fill time.  The hot loop is one dict lookup plus one
+  call — no mnemonic string comparisons.
+
+* **Deferred accounting** — trace and latency accounting are additive and
+  order-independent, so the hot loop keeps one per-mnemonic counter and
+  folds it into the :class:`~repro.iss.trace.ExecutionTrace` and
+  :class:`~repro.iss.timing.TimingModel` after the run
+  (:meth:`ExecutionTrace.record_bulk` / :meth:`TimingModel.account_bulk`).
+  Data-cache accounting stays live in the memory handlers (it is
+  order-dependent).  With ``detailed_trace=True`` the per-instruction
+  records need pc/cycle stamps, so accounting runs live — the decode cache
+  and table dispatch still apply.
+
+The contract — enforced by ``tests/test_fastpath.py`` and re-verified by
+``benchmarks/bench_iss_throughput.py`` before it reports any number — is
+**bit-identity with the reference interpreter**: same trace statistics, same
+off-core transaction stream, same trap kind / exit code / instruction and
+cycle counts, same final architectural state (registers, icc, Y, PC, memory),
+fault-free and under injected architectural faults.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.isa.ccodes import evaluate_condition, icc_add, icc_logic, icc_sub
+from repro.isa.decoder import DecodeError, Instruction, decode_cached
+from repro.isa.encoding import to_s32, to_u32
+from repro.isa.instructions import INSTRUCTION_SET, InstructionCategory
+from repro.isa.registers import RegisterWindowError
+from repro.iss.emulator import (
+    IO_BASE,
+    Emulator,
+    ExecutionResult,
+    SimulationError,
+    TrapEvent,
+)
+from repro.iss.faults import ArchitecturalFault, _FaultyEmulator
+from repro.iss.memory import PAGE_SHIFT, Memory, MemoryError_
+from repro.iss.trace import ExecutionTrace, OffCoreTransaction
+
+_U32 = 0xFFFFFFFF
+
+__all__ = [
+    "FastEmulator",
+    "assert_results_identical",
+    "verify_bit_identity",
+    "run_fast_program",
+]
+
+
+class _CachedOp:
+    """One decoded instruction specialised for its PC.
+
+    Carries the raw :class:`Instruction` (for detailed tracing), the resolved
+    semantics handler, and the operand fields pre-extracted so handlers never
+    touch the decoder's dataclass properties in the hot loop.
+    """
+
+    __slots__ = (
+        "mnemonic",
+        "instruction",
+        "handler",
+        "rd",
+        "rs1",
+        "rs2",
+        "use_imm",
+        "imm",
+        "imm_u32",
+        "sets_icc",
+        "cond",
+        "annul",
+        "annul_taken",
+        "target",
+        "value",
+    )
+
+    def __init__(self, instruction: Instruction, pc: int):
+        defn = instruction.defn
+        mnemonic = defn.mnemonic
+        self.mnemonic = mnemonic
+        self.instruction = instruction
+        self.handler = _HANDLER_TABLE[mnemonic]
+        self.rd = instruction.rd
+        self.rs1 = instruction.rs1
+        self.rs2 = instruction.rs2
+        imm = instruction.imm
+        self.use_imm = imm is not None
+        self.imm = imm
+        self.imm_u32 = to_u32(imm) if imm is not None else None
+        self.sets_icc = defn.sets_icc
+        if defn.category is InstructionCategory.BRANCH:
+            self.cond = defn.cond
+            self.annul = instruction.annul
+            self.annul_taken = instruction.annul and defn.cond == 0x8
+            self.target = to_u32(pc + instruction.disp)
+        elif mnemonic == "call":
+            self.target = to_u32(pc + instruction.disp)
+        elif mnemonic == "sethi":
+            self.value = to_u32(instruction.imm << 10)
+        elif mnemonic == "ticc":
+            self.cond = instruction.rd & 0xF
+
+
+# ---------------------------------------------------------------------------
+# Semantics handlers.
+#
+# One function per opcode, signature ``handler(emu, op, pc, transactions)``.
+# Return value protocol (cheaper than the reference's dataclass outcome):
+#   * ``None``                  — fall through to pc/npc advance,
+#   * ``(target, annul_slot)``  — delayed control transfer,
+#   * ``TrapEvent``             — halt the run.
+# Each body mirrors the reference ``Emulator._execute*`` semantics exactly —
+# including evaluation order where destination and source registers alias.
+# ---------------------------------------------------------------------------
+
+
+def _h_branch(emu, op, pc, transactions):
+    if evaluate_condition(op.cond, emu.icc):
+        return (op.target, op.annul_taken)
+    if op.annul:
+        emu._annul_next = True
+    return None
+
+
+def _h_call(emu, op, pc, transactions):
+    emu.registers.write(15, pc)
+    return (op.target, False)
+
+
+def _h_sethi(emu, op, pc, transactions):
+    emu.registers.write(op.rd, op.value)
+    return None
+
+
+def _h_jmpl(emu, op, pc, transactions):
+    r = emu.registers
+    target = (r.read(op.rs1) + (op.imm_u32 if op.use_imm else r.read(op.rs2))) & _U32
+    r.write(op.rd, pc)
+    return (target, False)
+
+
+def _h_ticc(emu, op, pc, transactions):
+    r = emu.registers
+    trap_number = op.imm if op.use_imm else r.read(op.rs2)
+    if not evaluate_condition(op.cond, emu.icc):
+        return None
+    if trap_number == 0:
+        return TrapEvent("exit", pc, detail=str(r.read(8) & 0xFF))
+    return TrapEvent("software_trap", pc, detail=str(trap_number))
+
+
+def _h_save(emu, op, pc, transactions):
+    r = emu.registers
+    result = (r.read(op.rs1) + (op.imm_u32 if op.use_imm else r.read(op.rs2))) & _U32
+    r.save()
+    r.write(op.rd, result)
+    return None
+
+
+def _h_restore(emu, op, pc, transactions):
+    r = emu.registers
+    result = (r.read(op.rs1) + (op.imm_u32 if op.use_imm else r.read(op.rs2))) & _U32
+    r.restore()
+    r.write(op.rd, result)
+    return None
+
+
+def _h_rd(emu, op, pc, transactions):
+    emu.registers.write(op.rd, emu.y_register)
+    return None
+
+
+def _h_wr(emu, op, pc, transactions):
+    r = emu.registers
+    emu.y_register = r.read(op.rs1) ^ (op.imm_u32 if op.use_imm else r.read(op.rs2))
+    return None
+
+
+# -- ALU --------------------------------------------------------------------
+
+
+def _h_add(emu, op, pc, transactions):
+    r = emu.registers
+    op1 = r.read(op.rs1)
+    op2 = op.imm_u32 if op.use_imm else r.read(op.rs2)
+    result = (op1 + op2) & _U32
+    r.write(op.rd, result)
+    if op.sets_icc:
+        emu.icc = icc_add(op1, op2, result)
+    return None
+
+
+def _h_addx(emu, op, pc, transactions):
+    r = emu.registers
+    op1 = r.read(op.rs1)
+    op2 = op.imm_u32 if op.use_imm else r.read(op.rs2)
+    carry = emu.icc.c
+    result = (op1 + op2 + carry) & _U32
+    r.write(op.rd, result)
+    if op.sets_icc:
+        emu.icc = icc_add(op1, op2, result, carry_in=carry)
+    return None
+
+
+def _h_sub(emu, op, pc, transactions):
+    r = emu.registers
+    op1 = r.read(op.rs1)
+    op2 = op.imm_u32 if op.use_imm else r.read(op.rs2)
+    result = (op1 - op2) & _U32
+    r.write(op.rd, result)
+    if op.sets_icc:
+        emu.icc = icc_sub(op1, op2, result)
+    return None
+
+
+def _h_subx(emu, op, pc, transactions):
+    r = emu.registers
+    op1 = r.read(op.rs1)
+    op2 = op.imm_u32 if op.use_imm else r.read(op.rs2)
+    carry = emu.icc.c
+    result = (op1 - op2 - carry) & _U32
+    r.write(op.rd, result)
+    if op.sets_icc:
+        emu.icc = icc_sub(op1, op2, result, borrow_in=carry)
+    return None
+
+
+def _h_and(emu, op, pc, transactions):
+    r = emu.registers
+    op1 = r.read(op.rs1)
+    op2 = op.imm_u32 if op.use_imm else r.read(op.rs2)
+    result = op1 & op2
+    r.write(op.rd, result)
+    if op.sets_icc:
+        emu.icc = icc_logic(result)
+    return None
+
+
+def _h_andn(emu, op, pc, transactions):
+    r = emu.registers
+    op1 = r.read(op.rs1)
+    op2 = op.imm_u32 if op.use_imm else r.read(op.rs2)
+    result = op1 & (~op2 & _U32)
+    r.write(op.rd, result)
+    if op.sets_icc:
+        emu.icc = icc_logic(result)
+    return None
+
+
+def _h_or(emu, op, pc, transactions):
+    r = emu.registers
+    op1 = r.read(op.rs1)
+    op2 = op.imm_u32 if op.use_imm else r.read(op.rs2)
+    result = op1 | op2
+    r.write(op.rd, result)
+    if op.sets_icc:
+        emu.icc = icc_logic(result)
+    return None
+
+
+def _h_orn(emu, op, pc, transactions):
+    r = emu.registers
+    op1 = r.read(op.rs1)
+    op2 = op.imm_u32 if op.use_imm else r.read(op.rs2)
+    result = op1 | (~op2 & _U32)
+    r.write(op.rd, result)
+    if op.sets_icc:
+        emu.icc = icc_logic(result)
+    return None
+
+
+def _h_xor(emu, op, pc, transactions):
+    r = emu.registers
+    op1 = r.read(op.rs1)
+    op2 = op.imm_u32 if op.use_imm else r.read(op.rs2)
+    result = op1 ^ op2
+    r.write(op.rd, result)
+    if op.sets_icc:
+        emu.icc = icc_logic(result)
+    return None
+
+
+def _h_xnor(emu, op, pc, transactions):
+    r = emu.registers
+    op1 = r.read(op.rs1)
+    op2 = op.imm_u32 if op.use_imm else r.read(op.rs2)
+    result = ~(op1 ^ op2) & _U32
+    r.write(op.rd, result)
+    if op.sets_icc:
+        emu.icc = icc_logic(result)
+    return None
+
+
+def _h_sll(emu, op, pc, transactions):
+    r = emu.registers
+    op1 = r.read(op.rs1)
+    op2 = op.imm_u32 if op.use_imm else r.read(op.rs2)
+    r.write(op.rd, (op1 << (op2 & 0x1F)) & _U32)
+    return None
+
+
+def _h_srl(emu, op, pc, transactions):
+    r = emu.registers
+    op1 = r.read(op.rs1)
+    op2 = op.imm_u32 if op.use_imm else r.read(op.rs2)
+    r.write(op.rd, op1 >> (op2 & 0x1F))
+    return None
+
+
+def _h_sra(emu, op, pc, transactions):
+    r = emu.registers
+    op1 = r.read(op.rs1)
+    op2 = op.imm_u32 if op.use_imm else r.read(op.rs2)
+    r.write(op.rd, (to_s32(op1) >> (op2 & 0x1F)) & _U32)
+    return None
+
+
+def _h_umul(emu, op, pc, transactions):
+    r = emu.registers
+    op1 = r.read(op.rs1)
+    op2 = op.imm_u32 if op.use_imm else r.read(op.rs2)
+    product = op1 * op2
+    result = product & _U32
+    emu.y_register = (product >> 32) & _U32
+    r.write(op.rd, result)
+    if op.sets_icc:
+        emu.icc = icc_logic(result)
+    return None
+
+
+def _h_smul(emu, op, pc, transactions):
+    r = emu.registers
+    op1 = r.read(op.rs1)
+    op2 = op.imm_u32 if op.use_imm else r.read(op.rs2)
+    product = to_s32(op1) * to_s32(op2)
+    result = product & _U32
+    emu.y_register = (product >> 32) & _U32
+    r.write(op.rd, result)
+    if op.sets_icc:
+        emu.icc = icc_logic(result)
+    return None
+
+
+def _h_udiv(emu, op, pc, transactions):
+    r = emu.registers
+    op1 = r.read(op.rs1)
+    op2 = op.imm_u32 if op.use_imm else r.read(op.rs2)
+    if op2 == 0:
+        raise ZeroDivisionError
+    quotient = ((emu.y_register << 32) | op1) // op2
+    result = _U32 if quotient > _U32 else quotient
+    r.write(op.rd, result)
+    if op.sets_icc:
+        emu.icc = icc_logic(result)
+    return None
+
+
+def _h_sdiv(emu, op, pc, transactions):
+    r = emu.registers
+    op1 = r.read(op.rs1)
+    op2 = op.imm_u32 if op.use_imm else r.read(op.rs2)
+    if op2 == 0:
+        raise ZeroDivisionError
+    dividend_u = (emu.y_register << 32) | op1
+    dividend = dividend_u - (1 << 64) if dividend_u & (1 << 63) else dividend_u
+    divisor = to_s32(op2)
+    quotient = abs(dividend) // abs(divisor)
+    if (dividend < 0) != (divisor < 0):
+        quotient = -quotient
+    quotient = max(min(quotient, 0x7FFFFFFF), -0x80000000)
+    result = quotient & _U32
+    r.write(op.rd, result)
+    if op.sets_icc:
+        emu.icc = icc_logic(result)
+    return None
+
+
+def _h_unimplemented(emu, op, pc, transactions):
+    raise SimulationError(f"no ALU semantics for {op.mnemonic}")
+
+
+# -- memory -----------------------------------------------------------------
+
+
+def _address(emu, op):
+    r = emu.registers
+    return (r.read(op.rs1) + (op.imm_u32 if op.use_imm else r.read(op.rs2))) & _U32
+
+
+def _invalidate_code_page(emu, page: int) -> None:
+    cache = emu._decode_cache
+    for cached_pc in emu._code_pages.pop(page):
+        cache.pop(cached_pc, None)
+
+
+def _h_ld(emu, op, pc, transactions):
+    address = _address(emu, op)
+    emu.timing.account_data_access(address, is_store=False)
+    value = emu.memory.read_word(address)
+    emu.registers.write(op.rd, value)
+    if address >= IO_BASE:
+        transactions.append(OffCoreTransaction("io", address, value, 4))
+    return None
+
+
+def _h_ldub(emu, op, pc, transactions):
+    address = _address(emu, op)
+    emu.timing.account_data_access(address, is_store=False)
+    value = emu.memory.read_byte(address)
+    emu.registers.write(op.rd, value)
+    if address >= IO_BASE:
+        transactions.append(OffCoreTransaction("io", address, value, 1))
+    return None
+
+
+def _h_lduh(emu, op, pc, transactions):
+    address = _address(emu, op)
+    emu.timing.account_data_access(address, is_store=False)
+    value = emu.memory.read_half(address)
+    emu.registers.write(op.rd, value)
+    if address >= IO_BASE:
+        transactions.append(OffCoreTransaction("io", address, value, 2))
+    return None
+
+
+def _h_ldsb(emu, op, pc, transactions):
+    address = _address(emu, op)
+    emu.timing.account_data_access(address, is_store=False)
+    raw = emu.memory.read_byte(address)
+    value = (raw - 0x100) & _U32 if raw & 0x80 else raw
+    emu.registers.write(op.rd, value)
+    if address >= IO_BASE:
+        transactions.append(OffCoreTransaction("io", address, raw, 1))
+    return None
+
+
+def _h_ldsh(emu, op, pc, transactions):
+    address = _address(emu, op)
+    emu.timing.account_data_access(address, is_store=False)
+    raw = emu.memory.read_half(address)
+    value = (raw - 0x10000) & _U32 if raw & 0x8000 else raw
+    emu.registers.write(op.rd, value)
+    if address >= IO_BASE:
+        transactions.append(OffCoreTransaction("io", address, raw, 2))
+    return None
+
+
+def _h_ldd(emu, op, pc, transactions):
+    address = _address(emu, op)
+    emu.timing.account_data_access(address, is_store=False)
+    high, low = emu.memory.read_double(address)
+    rd_even = op.rd & ~1
+    r = emu.registers
+    r.write(rd_even, high)
+    r.write(rd_even | 1, low)
+    if address >= IO_BASE:
+        transactions.append(OffCoreTransaction("io", address, (high << 32) | low, 8))
+    return None
+
+
+def _h_st(emu, op, pc, transactions):
+    address = _address(emu, op)
+    emu.timing.account_data_access(address, is_store=True)
+    value = emu.registers.read(op.rd)
+    emu.memory.write_word(address, value)
+    if (address >> PAGE_SHIFT) in emu._code_pages:
+        _invalidate_code_page(emu, address >> PAGE_SHIFT)
+    kind = "io" if address >= IO_BASE else "store"
+    transactions.append(OffCoreTransaction(kind, address, value, 4))
+    return None
+
+
+def _h_stb(emu, op, pc, transactions):
+    address = _address(emu, op)
+    emu.timing.account_data_access(address, is_store=True)
+    value = emu.registers.read(op.rd) & 0xFF
+    emu.memory.write_byte(address, value)
+    if (address >> PAGE_SHIFT) in emu._code_pages:
+        _invalidate_code_page(emu, address >> PAGE_SHIFT)
+    kind = "io" if address >= IO_BASE else "store"
+    transactions.append(OffCoreTransaction(kind, address, value, 1))
+    return None
+
+
+def _h_sth(emu, op, pc, transactions):
+    address = _address(emu, op)
+    emu.timing.account_data_access(address, is_store=True)
+    value = emu.registers.read(op.rd) & 0xFFFF
+    emu.memory.write_half(address, value)
+    if (address >> PAGE_SHIFT) in emu._code_pages:
+        _invalidate_code_page(emu, address >> PAGE_SHIFT)
+    kind = "io" if address >= IO_BASE else "store"
+    transactions.append(OffCoreTransaction(kind, address, value, 2))
+    return None
+
+
+def _h_std(emu, op, pc, transactions):
+    address = _address(emu, op)
+    emu.timing.account_data_access(address, is_store=True)
+    r = emu.registers
+    rd_even = op.rd & ~1
+    high = r.read(rd_even)
+    low = r.read(rd_even | 1)
+    emu.memory.write_double(address, high, low)
+    if (address >> PAGE_SHIFT) in emu._code_pages:
+        _invalidate_code_page(emu, address >> PAGE_SHIFT)
+    transactions.append(OffCoreTransaction("store", address, high, 4))
+    transactions.append(OffCoreTransaction("store", address + 4, low, 4))
+    return None
+
+
+_SPECIAL_HANDLERS: Dict[str, Callable] = {
+    "call": _h_call,
+    "sethi": _h_sethi,
+    "jmpl": _h_jmpl,
+    "ticc": _h_ticc,
+    "save": _h_save,
+    "restore": _h_restore,
+    "rd": _h_rd,
+    "wr": _h_wr,
+}
+
+_MEMORY_HANDLERS: Dict[str, Callable] = {
+    "ld": _h_ld,
+    "ldub": _h_ldub,
+    "lduh": _h_lduh,
+    "ldsb": _h_ldsb,
+    "ldsh": _h_ldsh,
+    "ldd": _h_ldd,
+    "st": _h_st,
+    "stb": _h_stb,
+    "sth": _h_sth,
+    "std": _h_std,
+}
+
+_ALU_HANDLERS: Dict[str, Callable] = {
+    "add": _h_add,
+    "addx": _h_addx,
+    "sub": _h_sub,
+    "subx": _h_subx,
+    "and": _h_and,
+    "andn": _h_andn,
+    "or": _h_or,
+    "orn": _h_orn,
+    "xor": _h_xor,
+    "xnor": _h_xnor,
+    "sll": _h_sll,
+    "srl": _h_srl,
+    "sra": _h_sra,
+    "umul": _h_umul,
+    "smul": _h_smul,
+    "udiv": _h_udiv,
+    "sdiv": _h_sdiv,
+}
+
+
+def _handler_for(defn) -> Callable:
+    if defn.category is InstructionCategory.BRANCH:
+        return _h_branch
+    special = _SPECIAL_HANDLERS.get(defn.mnemonic)
+    if special is not None:
+        return special
+    if defn.is_memory:
+        return _MEMORY_HANDLERS[defn.mnemonic]
+    # An ALU opcode without semantics raises SimulationError at execution
+    # time (not at cache-fill time), mirroring the reference interpreter's
+    # trap point so both classify the run identically.
+    return _ALU_HANDLERS.get(defn.alu_base, _h_unimplemented)
+
+
+#: The precomputed per-InstructionDef dispatch table, built once at import.
+_HANDLER_TABLE: Dict[str, Callable] = {
+    defn.mnemonic: _handler_for(defn) for defn in INSTRUCTION_SET
+}
+
+
+class FastEmulator(Emulator):
+    """Drop-in, bit-identical, faster replacement for :class:`Emulator`.
+
+    Optionally applies an :class:`~repro.iss.faults.ArchitecturalFault`
+    while running (pass ``fault=``), replicating
+    :class:`~repro.iss.faults._FaultyEmulator` exactly: the fault effect is
+    applied to the register file before every executed (non-annulled)
+    instruction; a ``bit_flip`` fires once at its trigger index.
+    """
+
+    def __init__(
+        self,
+        memory: Optional[Memory] = None,
+        nwindows: int = 8,
+        timing=None,
+        detailed_trace: bool = False,
+        fault: Optional[ArchitecturalFault] = None,
+    ):
+        super().__init__(
+            memory=memory,
+            nwindows=nwindows,
+            timing=timing,
+            detailed_trace=detailed_trace,
+        )
+        self._fault = fault
+        self._fault_executed = 0
+        self._flip_done = False
+        self._decode_cache: Dict[int, _CachedOp] = {}
+        self._code_pages: Dict[int, Set[int]] = {}
+        #: Decode-cache fills this emulator performed (one per distinct PC
+        #: between invalidations) — observable for tests and diagnostics.
+        self.decode_fills = 0
+
+    # -- cache management ---------------------------------------------------------
+
+    def flush_decode_cache(self) -> None:
+        """Drop every cached decode (required after external memory writes)."""
+        self._decode_cache.clear()
+        self._code_pages.clear()
+
+    def load_program(self, program) -> None:
+        self.flush_decode_cache()
+        super().load_program(program)
+
+    def reset(self, entry_point: int = 0) -> None:
+        super().reset(entry_point=entry_point)
+        self._fault_executed = 0
+        self._flip_done = False
+
+    def _fill(self, pc: int) -> _CachedOp:
+        word = self.memory.read_word(pc)
+        op = _CachedOp(decode_cached(word), pc)
+        self._decode_cache[pc] = op
+        self._code_pages.setdefault(pc >> PAGE_SHIFT, set()).add(pc)
+        self.decode_fills += 1
+        return op
+
+    # -- main loop ----------------------------------------------------------------
+
+    def run(self, max_instructions: int = 2_000_000) -> ExecutionResult:
+        detailed = self.detailed_trace
+        trace = ExecutionTrace(detailed=detailed)
+        transactions: List[OffCoreTransaction] = []
+        trap: Optional[TrapEvent] = None
+        halted = False
+        exit_code: Optional[int] = None
+        executed = 0
+        counts: Dict[str, int] = {}
+        counts_get = counts.get
+        cache_get = self._decode_cache.get
+        timing = self.timing
+        registers = self.registers
+        fault = self._fault
+        fault_permanent = fault is not None and fault.model != "bit_flip"
+
+        while executed < max_instructions:
+            pc = self.pc
+            if self._annul_next:
+                # The delay-slot instruction is annulled: skip it without
+                # executing, recording, or charging the instruction budget.
+                self._annul_next = False
+                self.pc = self.npc
+                self.npc += 4
+                continue
+            op = cache_get(pc)
+            if op is None:
+                try:
+                    op = self._fill(pc)
+                except (MemoryError_, DecodeError) as exc:
+                    trap = TrapEvent("illegal_instruction", pc, str(exc))
+                    halted = True
+                    break
+            if detailed:
+                trace.record(op.instruction, pc, timing.cycles)
+                timing.account(op.instruction)
+            else:
+                mnemonic = op.mnemonic
+                counts[mnemonic] = counts_get(mnemonic, 0) + 1
+            executed += 1
+            if fault is not None:
+                if fault_permanent:
+                    registers.write(
+                        fault.register, fault.apply(registers.read(fault.register))
+                    )
+                elif not self._flip_done and self._fault_executed >= fault.trigger_index:
+                    registers.write(
+                        fault.register, fault.apply(registers.read(fault.register))
+                    )
+                    self._flip_done = True
+                self._fault_executed += 1
+            try:
+                outcome = op.handler(self, op, pc, transactions)
+            except RegisterWindowError as exc:
+                trap = TrapEvent("window", pc, str(exc))
+                halted = True
+                break
+            except MemoryError_ as exc:
+                trap = TrapEvent("memory", pc, str(exc))
+                halted = True
+                break
+            except ZeroDivisionError:
+                trap = TrapEvent("division_by_zero", pc)
+                halted = True
+                break
+            except SimulationError as exc:
+                trap = TrapEvent("simulation_error", pc, str(exc))
+                halted = True
+                break
+            if outcome is None:
+                self.pc = self.npc
+                self.npc += 4
+            elif type(outcome) is tuple:
+                self.pc = self.npc
+                self.npc = outcome[0]
+                self._annul_next = outcome[1]
+            else:
+                trap = outcome
+                halted = True
+                if outcome.is_exit:
+                    exit_code = int(outcome.detail) if outcome.detail else 0
+                break
+
+        if executed >= max_instructions and not halted:
+            trap = TrapEvent("watchdog", self.pc, "instruction budget exhausted")
+
+        if counts:
+            by_mnemonic = INSTRUCTION_SET.by_mnemonic
+            for mnemonic, count in counts.items():
+                defn = by_mnemonic(mnemonic)
+                trace.record_bulk(defn, count)
+                timing.account_bulk(defn, count)
+
+        return ExecutionResult(
+            trace=trace,
+            transactions=transactions,
+            instructions=executed,
+            cycles=timing.cycles,
+            halted=halted,
+            exit_code=exit_code,
+            trap=trap,
+            final_pc=self.pc,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity verification (shared by tests and the throughput benchmark).
+# ---------------------------------------------------------------------------
+
+
+def run_fast_program(
+    program,
+    max_instructions: int = 2_000_000,
+    fault: Optional[ArchitecturalFault] = None,
+    detailed_trace: bool = False,
+) -> ExecutionResult:
+    """Convenience helper: run *program* on a fresh :class:`FastEmulator`."""
+    emulator = FastEmulator(
+        memory=Memory(), detailed_trace=detailed_trace, fault=fault
+    )
+    emulator.load_program(program)
+    return emulator.run(max_instructions=max_instructions)
+
+
+def _final_state(emulator: Emulator) -> dict:
+    return {
+        "registers": emulator.registers.snapshot(),
+        "icc": emulator.icc,
+        "y": emulator.y_register,
+        "pc": emulator.pc,
+        "npc": emulator.npc,
+        "memory": {
+            index: bytes(page) for index, page in emulator.memory._pages.items()
+        },
+    }
+
+
+def assert_results_identical(
+    reference_emulator: Emulator,
+    reference: ExecutionResult,
+    fast_emulator: Emulator,
+    fast: ExecutionResult,
+) -> None:
+    """Assert two finished runs match on every observable of the contract.
+
+    The single definition of the bit-identity comparison set — the tests and
+    the throughput benchmark both call it, so the contract cannot drift
+    between the two.  Raises :class:`AssertionError` naming the first
+    divergent observable.
+    """
+    assert fast.trace == reference.trace, "trace statistics diverge"
+    assert fast.transactions == reference.transactions, "transaction streams diverge"
+    assert fast.instructions == reference.instructions, "instruction counts diverge"
+    assert fast.cycles == reference.cycles, "cycle counts diverge"
+    assert fast.halted == reference.halted, "halt status diverges"
+    assert fast.exit_code == reference.exit_code, "exit codes diverge"
+    assert fast.trap == reference.trap, "trap events diverge"
+    assert fast.final_pc == reference.final_pc, "final PCs diverge"
+    assert _final_state(fast_emulator) == _final_state(reference_emulator), (
+        "final architectural state diverges"
+    )
+
+
+def verify_bit_identity(
+    program,
+    max_instructions: int = 2_000_000,
+    fault: Optional[ArchitecturalFault] = None,
+    detailed_trace: bool = False,
+) -> Tuple[ExecutionResult, ExecutionResult]:
+    """Run *program* on both interpreters and assert every observable matches.
+
+    Compares the execution trace (statistics and, when detailed, the
+    per-instruction records), the off-core transaction stream, instruction
+    and cycle counts, halt/exit/trap status, and the final architectural
+    state (register file, condition codes, Y, PC/nPC, memory image).
+    Raises :class:`AssertionError` on the first divergence; returns the
+    ``(reference, fast)`` result pair for further inspection.
+    """
+    if fault is not None:
+        reference_emulator: Emulator = _FaultyEmulator(
+            fault, memory=Memory(), detailed_trace=detailed_trace
+        )
+    else:
+        reference_emulator = Emulator(memory=Memory(), detailed_trace=detailed_trace)
+    reference_emulator.load_program(program)
+    reference = reference_emulator.run(max_instructions=max_instructions)
+
+    fast_emulator = FastEmulator(
+        memory=Memory(), detailed_trace=detailed_trace, fault=fault
+    )
+    fast_emulator.load_program(program)
+    fast = fast_emulator.run(max_instructions=max_instructions)
+
+    assert_results_identical(reference_emulator, reference, fast_emulator, fast)
+    return reference, fast

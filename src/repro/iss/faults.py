@@ -63,6 +63,16 @@ class _FaultyEmulator(Emulator):
         self._executed = 0
         self._flip_done = False
 
+    def reset(self, entry_point: int = 0) -> None:
+        """Reset restarts the experiment: the transient flip re-arms.
+
+        Keeps a reused (reset + rerun) faulty emulator bit-identical to the
+        fast-path interpreter, which resets its fault counters the same way.
+        """
+        super().reset(entry_point=entry_point)
+        self._executed = 0
+        self._flip_done = False
+
     def _execute(self, instruction, pc, transactions):
         fault = self._fault
         if fault.model == "bit_flip":

@@ -81,11 +81,19 @@ class TimingModel:
 
     def account(self, instruction: Instruction) -> None:
         """Charge the latency of one executed *instruction*."""
-        latency = self._latency_overrides.get(
-            instruction.defn.mnemonic, instruction.defn.latency
-        )
-        self.cycles += latency
-        self.instructions += 1
+        self.account_bulk(instruction.defn, 1)
+
+    def account_bulk(self, defn, count: int) -> None:
+        """Charge *count* executions of instruction type *defn* in one step.
+
+        Latency is additive and order-independent, so folding the fast-path
+        interpreter's deferred opcode counts here yields the same final cycle
+        and instruction totals as per-instruction :meth:`account` calls —
+        which delegate here, so the two paths cannot drift.
+        """
+        latency = self._latency_overrides.get(defn.mnemonic, defn.latency)
+        self.cycles += latency * count
+        self.instructions += count
 
     def account_data_access(self, address: int, is_store: bool) -> None:
         """Charge the cache behaviour of a data access at *address*."""

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
 from repro.isa.decoder import Instruction
-from repro.isa.instructions import FunctionalUnit, InstructionCategory
+from repro.isa.instructions import FunctionalUnit, InstructionCategory, InstructionDef
 
 
 @dataclass(frozen=True)
@@ -50,27 +50,44 @@ class ExecutionTrace:
     def record(self, instruction: Instruction, pc: int, cycle: int) -> None:
         """Account one executed *instruction*."""
         defn = instruction.defn
-        mnemonic = defn.mnemonic
-        self.total_instructions += 1
-        self.opcode_counts[mnemonic] += 1
-        self.category_counts[defn.category] += 1
-        if defn.reads_memory:
-            self.memory_reads += 1
-        if defn.writes_memory:
-            self.memory_writes += 1
-        for unit in defn.units:
-            self.unit_counts[unit] += 1
-            self.unit_opcodes.setdefault(unit, set()).add(mnemonic)
+        self._fold_aggregates(defn, 1)
         if self.detailed:
             self.records.append(
                 InstructionRecord(
                     index=self.total_instructions - 1,
                     pc=pc,
-                    mnemonic=mnemonic,
+                    mnemonic=defn.mnemonic,
                     category=defn.category,
                     cycle=cycle,
                 )
             )
+
+    def record_bulk(self, defn: InstructionDef, count: int) -> None:
+        """Account *count* executions of *defn* in one step.
+
+        Aggregate-only equivalent of calling :meth:`record` *count* times,
+        used by the fast-path interpreter to fold its deferred opcode counts
+        after the hot loop.  Both paths share :meth:`_fold_aggregates`, so
+        they cannot drift; the resulting trace is value-identical to one
+        built by per-instruction :meth:`record` calls in any order.  Detailed
+        traces need the pc/cycle of each execution and cannot be bulk-recorded.
+        """
+        if self.detailed:
+            raise ValueError("record_bulk cannot produce detailed records")
+        self._fold_aggregates(defn, count)
+
+    def _fold_aggregates(self, defn: InstructionDef, count: int) -> None:
+        mnemonic = defn.mnemonic
+        self.total_instructions += count
+        self.opcode_counts[mnemonic] += count
+        self.category_counts[defn.category] += count
+        if defn.reads_memory:
+            self.memory_reads += count
+        if defn.writes_memory:
+            self.memory_writes += count
+        for unit in defn.units:
+            self.unit_counts[unit] += count
+            self.unit_opcodes.setdefault(unit, set()).add(mnemonic)
 
     # -- derived quantities -----------------------------------------------------
 

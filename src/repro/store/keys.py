@@ -18,17 +18,39 @@ matching instead of serving stale results.
 
 from __future__ import annotations
 
+import functools
 import hashlib
 import json
 from typing import Callable, Sequence
 
-from repro.engine.backend import WATCHDOG_FACTOR, WATCHDOG_SLACK
+from repro.engine.backend import WATCHDOG_FACTOR, WATCHDOG_SLACK, IssBackend
 from repro.isa.assembler import Program
 from repro.rtl.faults import FaultModel
 from repro.rtl.sites import FaultSite
 
 #: Version of the key derivation (and of everything behind it that can change
 #: results).  Part of every digest.
+#:
+#: Deliberately **not** bumped for the ISS fast-path interpreter PR, because
+#: none of its changes can alter a stored campaign outcome:
+#:
+#: * The fast interpreter is bit-identical to the reference on every
+#:   observable (trace statistics, transaction stream, trap kind, final
+#:   architectural state), fault-free and under injection — enforced by
+#:   ``tests/test_fastpath.py`` across the full workload registry and
+#:   re-verified by ``benchmarks/bench_iss_throughput.py`` before it reports
+#:   any number.  The interpreter choice is an execution strategy, exactly
+#:   like ``n_workers``.
+#: * The I/O-load fix (transactions now record the loaded value instead of a
+#:   hard-coded 0) cannot move a golden-vs-faulty comparison: inside the ISS
+#:   every memory write is itself a recorded transaction, so the value a load
+#:   returns is a pure function of the program image plus the preceding
+#:   transaction stream — two runs whose streams first diverge at index *k*
+#:   still first diverge at *k*.  (The fix matters for *external* peripheral
+#:   corruption, which no stored campaign models.)
+#: * ``SimulationError`` runs previously crashed the campaign before any
+#:   outcome could be committed, so no stored outcome can disagree with the
+#:   new trap classification.
 KEY_VERSION = 1
 
 
@@ -60,19 +82,66 @@ def site_token(site: FaultSite) -> str:
     return f"{location}.bit{site.bit}@{site.unit}"
 
 
+def _render_bound(value) -> str:
+    """Deterministic rendering of a factory's bound argument.
+
+    Primitives render by value and classes by qualified name.  Anything else
+    is refused: the default ``repr`` of an arbitrary object embeds its
+    memory address (key never matches again — resume always misses), while
+    rendering by type would alias differently-configured instances of the
+    same class (silently serving one configuration's stored results as the
+    other's).  Either failure is silent, so fail loud instead.
+    """
+    if isinstance(value, (bool, int, float, str, bytes, type(None))):
+        return repr(value)
+    if isinstance(value, type):
+        return f"{value.__module__}.{value.__qualname__}"
+    raise ValueError(
+        f"cannot derive a stable campaign-store identity from a factory that "
+        f"binds a {type(value).__module__}.{type(value).__qualname__} instance; "
+        f"use a named zero-argument factory function instead of functools.partial"
+    )
+
+
 def backend_identity(
     backend_name: str, backend_factory: Callable[[], object]
 ) -> str:
     """Identity string of the simulator behind a campaign.
 
     Combines the backend's short name with the factory's qualified name, so
-    e.g. a future JIT-ed ISS adapter never aliases the interpreter's results.
+    e.g. a new simulator *class* never aliases another's results.
+
+    ``functools.partial`` wrappers of :class:`IssBackend` are unwrapped to
+    the bare class: its only constructor parameters are the
+    *result-transparent* interpreter flags (``fast``, ``detailed_trace``) —
+    the fast interpreter is bit-identical to the reference (see
+    :data:`KEY_VERSION`) — so every interpreter choice reads and populates
+    the same stored campaign.  Any *other* partial — another backend class,
+    whose bound arguments can change results (e.g. cache geometry) — keeps
+    its bound arguments in the identity string, so it can never alias the
+    bare factory's stored campaigns.  Bound primitives render by value and
+    classes by qualified name (stable across processes); binding arbitrary
+    object *instances* raises — use a named zero-argument factory function
+    for those (see :func:`_render_bound`).
     """
+    bound = ""
+    while isinstance(backend_factory, functools.partial):
+        args = backend_factory.args
+        keywords = backend_factory.keywords or {}
+        if backend_factory.func is IssBackend:
+            backend_factory = backend_factory.func
+            continue
+        rendered = ",".join(
+            [_render_bound(value) for value in args]
+            + [f"{key}={_render_bound(value)}" for key, value in sorted(keywords.items())]
+        )
+        bound = f"({rendered})" + bound
+        backend_factory = backend_factory.func
     module = getattr(backend_factory, "__module__", "") or ""
     qualname = getattr(
         backend_factory, "__qualname__", backend_factory.__class__.__name__
     )
-    return f"{backend_name}:{module}.{qualname}"
+    return f"{backend_name}:{module}.{qualname}{bound}"
 
 
 def campaign_key(

@@ -180,3 +180,86 @@ class TestTraceCounters:
         assert result.trace.memory_reads == 2
         assert result.trace.memory_writes == 1
         assert result.trace.memory_instructions == 3
+
+
+class TestIoReadValues:
+    """I/O loads must record the value that came over the bus.
+
+    The old behaviour hard-coded 0 into the transaction, so a fault that
+    corrupts data read from the peripheral space was invisible to the
+    off-core failure comparison.
+    """
+
+    IO_ADDRESS = 0x80000200
+
+    IO_READ_SOURCE = """
+        .text
+        set     0x80000200, %l0
+        ld      [%l0], %o0
+        ta      0
+"""
+
+    def _run_with_peripheral_value(self, value: int):
+        from repro.isa.assembler import assemble
+        from repro.iss.emulator import Emulator
+        from repro.iss.memory import Memory
+
+        emulator = Emulator(memory=Memory())
+        emulator.load_program(assemble(self.IO_READ_SOURCE, name="io-read"))
+        # The peripheral space is backed by the same sparse memory; model the
+        # device's mailbox by preloading it before the run.
+        emulator.memory.write_word(self.IO_ADDRESS, value)
+        return emulator.run()
+
+    def test_io_load_transaction_records_loaded_value(self):
+        result = self._run_with_peripheral_value(0xCAFEBABE)
+        io = [t for t in result.transactions if t.kind == "io"]
+        assert len(io) == 1
+        assert io[0].address == self.IO_ADDRESS
+        assert io[0].value == 0xCAFEBABE
+        assert io[0].size == 4
+
+    def test_io_signed_load_records_raw_bus_value(self):
+        from repro.isa.assembler import assemble
+        from repro.iss.emulator import Emulator
+        from repro.iss.memory import Memory
+
+        source = """
+        .text
+        set     0x80000200, %l0
+        ldsb    [%l0], %o0
+        ta      0
+"""
+        emulator = Emulator(memory=Memory())
+        emulator.load_program(assemble(source, name="io-ldsb"))
+        emulator.memory.write_byte(self.IO_ADDRESS, 0x80)
+        result = emulator.run()
+        io = [t for t in result.transactions if t.kind == "io"]
+        # The transaction carries the raw bus byte; the register gets the
+        # sign-extended value.
+        assert io[0].value == 0x80
+        assert emulator.registers.read(8) == 0xFFFFFF80
+
+    def test_corrupted_peripheral_read_is_classified_as_failure(self):
+        """Regression: golden and faulty runs that differ only in the data a
+        peripheral returned must compare as WRONG_DATA, not NO_EFFECT."""
+        from repro.engine.backend import RunResult
+        from repro.faultinjection.comparison import FailureClass, compare_runs
+
+        def as_run_result(native):
+            return RunResult(
+                backend="iss",
+                transactions=native.transactions,
+                trace=native.trace,
+                instructions=native.instructions,
+                cycles=native.cycles,
+                halted=native.halted,
+                exit_code=native.exit_code,
+                trap_kind=None,
+            )
+
+        golden = self._run_with_peripheral_value(0x11111111)
+        faulty = self._run_with_peripheral_value(0x22222222)
+        comparison = compare_runs(as_run_result(golden), as_run_result(faulty))
+        assert comparison.failure_class is FailureClass.WRONG_DATA
+        assert comparison.is_failure

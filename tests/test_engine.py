@@ -248,3 +248,69 @@ class TestWatchdog:
         assert result.classification_histogram() == {FailureClass.HANG: 1}
         budget = watchdog_budget(engine.golden_run().instructions)
         assert result.outcomes[0].faulty_instructions == budget
+
+
+class TestPoisonedJob:
+    """A SimulationError raised inside the emulator must surface as a
+    classified TRAP outcome, not escape ``Emulator.run()`` and abort the
+    campaign (in a multiprocessing campaign it would kill the worker chunk).
+    """
+
+    #: Golden control flow never reaches the poisoned opcode; a stuck-at-1 on
+    #: %o0 diverts the faulty run onto it.
+    POISONED_SOURCE = """
+        .text
+        set     flag, %l0
+        ld      [%l0], %o0
+        cmp     %o0, 0
+        be      done
+        nop
+        xnor    %o0, %o0, %o1          ! poisoned: only the faulty run gets here
+done:
+        mov     0, %o0
+        ta      0
+        .data
+flag:
+        .word   0
+"""
+
+    def _poisoned_campaign(self, backend_factory):
+        from repro.engine.backend import ARCH_REGFILE_UNIT
+        from repro.rtl.sites import FaultSite
+
+        program = assemble(self.POISONED_SOURCE, name="poisoned")
+        config = CampaignConfig(
+            unit_scope=ARCH_REGFILE_UNIT, sample_size=1, max_instructions=10_000
+        )
+        engine = CampaignEngine(program, config, backend_factory=backend_factory)
+        site = FaultSite(net="regfile", bit=0, unit=ARCH_REGFILE_UNIT, index=8)
+        return engine.run(fault_models=[FaultModel.STUCK_AT_1], sites=[site])
+
+    def test_reference_interpreter_poisoned_job_yields_trap(self, monkeypatch):
+        from repro.iss.emulator import Emulator, SimulationError
+
+        original = Emulator._execute_alu
+
+        def poisoned(self, instruction):
+            if instruction.defn.mnemonic == "xnor":
+                raise SimulationError("no ALU semantics for xnor")
+            return original(self, instruction)
+
+        monkeypatch.setattr(Emulator, "_execute_alu", poisoned)
+        results = self._poisoned_campaign(lambda: IssBackend(fast=False))
+        outcomes = results[FaultModel.STUCK_AT_1].outcomes
+        assert len(outcomes) == 1
+        assert outcomes[0].failure_class is FailureClass.TRAP
+        assert outcomes[0].is_failure
+
+    def test_fast_interpreter_poisoned_job_yields_trap(self, monkeypatch):
+        import repro.iss.fastpath as fastpath
+
+        monkeypatch.setitem(
+            fastpath._HANDLER_TABLE, "xnor", fastpath._h_unimplemented
+        )
+        results = self._poisoned_campaign(IssBackend)
+        outcomes = results[FaultModel.STUCK_AT_1].outcomes
+        assert len(outcomes) == 1
+        assert outcomes[0].failure_class is FailureClass.TRAP
+        assert outcomes[0].is_failure
