@@ -63,6 +63,10 @@ def main() -> int:
     parser.add_argument("--seed", type=int, default=2015)
     parser.add_argument("--workers", type=int, default=max(2, os.cpu_count() or 2),
                         help="workers for the parallel run (default: cpu count, min 2)")
+    parser.add_argument("--force-parallel", action="store_true",
+                        help="run the parallel leg even on a single-CPU machine "
+                             "(as a determinism gate; the speedup is meaningless "
+                             "there)")
     parser.add_argument("--no-write", action="store_true",
                         help="measure and print only; do not update the baseline file")
     args = parser.parse_args()
@@ -76,28 +80,48 @@ def main() -> int:
     print(f"  serial             : {injections} injections in {serial_s:6.1f}s "
           f"-> {serial_rate:6.2f} inj/s")
 
-    parallel_results, _, parallel_s = run_campaign(program, args, args.workers)
-    parallel_rate = injections / parallel_s
-    print(f"  {args.workers}-worker pool      : {injections} injections in "
-          f"{parallel_s:6.1f}s -> {parallel_rate:6.2f} inj/s")
-    print(f"  speedup            : {serial_s / parallel_s:4.2f}x "
-          f"(on {os.cpu_count()} CPU(s))")
-
+    # On a single-CPU machine the pool measures multiprocessing overhead, not
+    # scaling: the resulting ~0.9x "speedup" reads as a scheduler regression
+    # when it is a machine property.  Skip the leg (and record why) unless the
+    # caller explicitly wants the serial==parallel determinism gate anyway.
     parallel_meaningful = (os.cpu_count() or 1) > 1
-    if not parallel_meaningful:
-        print("  WARNING: only one CPU is available — the parallel figure "
-              "cannot beat serial here; the recorded ~1.0x speedup is a "
-              "machine property, not a scheduler regression "
-              "(parallel_meaningful=false in the baseline)")
-
-    for model in serial_results:
-        serial_pf = serial_results[model].failure_probability
-        parallel_pf = parallel_results[model].failure_probability
-        if serial_results[model].outcomes != parallel_results[model].outcomes:
-            print(f"ERROR: scheduler results diverge for {model.value}: "
-                  f"Pf {serial_pf} vs {parallel_pf}")
-            return 1
-    print("  schedulers agree   : bit-identical outcomes for every fault model")
+    parallel_entry = None
+    speedup = None
+    if parallel_meaningful or args.force_parallel:
+        parallel_results, _, parallel_s = run_campaign(program, args, args.workers)
+        parallel_rate = injections / parallel_s
+        if parallel_meaningful:
+            # Only meaningful measurements enter the baseline: a forced run
+            # on a single CPU keeps the determinism gate below but records
+            # null figures, preserving the "parallel_meaningful: false ->
+            # null parallel/speedup" invariant consumers rely on.
+            speedup = round(serial_s / parallel_s, 3)
+            parallel_entry = {
+                "n_workers": args.workers,
+                "seconds": round(parallel_s, 3),
+                "injections_per_second": round(parallel_rate, 3),
+            }
+        print(f"  {args.workers}-worker pool      : {injections} injections in "
+              f"{parallel_s:6.1f}s -> {parallel_rate:6.2f} inj/s")
+        print(f"  speedup            : {serial_s / parallel_s:4.2f}x "
+              f"(on {os.cpu_count()} CPU(s))")
+        if not parallel_meaningful:
+            print("  WARNING: only one CPU is available — the parallel figure "
+                  "cannot beat serial here; treating the speedup as pool "
+                  "overhead and recording null parallel figures")
+        for model in serial_results:
+            serial_pf = serial_results[model].failure_probability
+            parallel_pf = parallel_results[model].failure_probability
+            if serial_results[model].outcomes != parallel_results[model].outcomes:
+                print(f"ERROR: scheduler results diverge for {model.value}: "
+                      f"Pf {serial_pf} vs {parallel_pf}")
+                return 1
+        print("  schedulers agree   : bit-identical outcomes for every fault model")
+    else:
+        print(f"  parallel leg skipped: only {os.cpu_count()} CPU available — "
+              "a pool cannot beat serial here and the ~1x figure would read "
+              "as a regression (use --force-parallel for the determinism "
+              "gate; see docs/performance.md)")
 
     baseline = {
         "benchmark": "campaign_throughput",
@@ -108,8 +132,9 @@ def main() -> int:
         "injections": injections,
         "seed": args.seed,
         "cpu_count": os.cpu_count(),
-        # False on single-CPU machines: the parallel numbers there measure
-        # pool overhead, not scaling, and must not be read as a regression.
+        # False on single-CPU machines: the parallel leg is skipped there
+        # (measuring pool overhead would read as a scheduler regression), so
+        # "parallel" and "speedup" are null in that case.
         "parallel_meaningful": parallel_meaningful,
         "python": platform.python_version(),
         "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
@@ -117,12 +142,8 @@ def main() -> int:
             "seconds": round(serial_s, 3),
             "injections_per_second": round(serial_rate, 3),
         },
-        "parallel": {
-            "n_workers": args.workers,
-            "seconds": round(parallel_s, 3),
-            "injections_per_second": round(parallel_rate, 3),
-        },
-        "speedup": round(serial_s / parallel_s, 3),
+        "parallel": parallel_entry,
+        "speedup": speedup,
     }
     if args.no_write:
         print(json.dumps(baseline, indent=2))

@@ -1,4 +1,20 @@
-"""Statistical analysis utilities (regression and summary statistics)."""
+"""Statistical analysis utilities shared by the correlation layer.
+
+The paper's evaluation needs two kinds of statistics, both implemented here
+with no third-party dependencies:
+
+* :mod:`repro.analysis.regression` — least-squares fits used by the Figure 7
+  correlation: :func:`fit_linear` / :class:`LinearFit` for straight lines,
+  :func:`fit_log` / :class:`LogFit` for the logarithmic diversity model, and
+  :func:`r_squared` for goodness of fit.
+* :mod:`repro.analysis.stats` — summary statistics for campaign estimates:
+  :func:`mean`, :func:`sample_standard_deviation` and
+  :func:`proportion_confidence_interval` (the normal-approximation interval
+  used to bound sampled failure probabilities).
+
+Higher layers (:mod:`repro.core.correlation`, report rendering) import from
+this package; nothing here depends on the simulators.
+"""
 
 from repro.analysis.regression import (
     LinearFit,

@@ -35,6 +35,7 @@ from repro.iss.faults import ArchitecturalFault, _FaultyEmulator
 from repro.iss.memory import Memory
 from repro.iss.trace import ExecutionTrace, OffCoreTransaction
 from repro.leon3.core import Leon3Core, RtlExecutionResult
+from repro.leon3.fastcore import Leon3FastCore
 from repro.rtl.faults import FaultModel, PermanentFault
 from repro.rtl.sites import SiteUniverse
 
@@ -102,12 +103,33 @@ class ExecutionBackend(Protocol):
 
 
 class Leon3RtlBackend:
-    """RTL-level backend: the structural Leon3 model with netlist faults."""
+    """RTL-level backend: the structural Leon3 model with netlist faults.
+
+    ``fast`` selects the cycle engine: the fast
+    :class:`~repro.leon3.fastcore.Leon3FastCore` (flattened pipeline, decode
+    memo, compiled per-array fault hooks — the default) or the reference
+    :class:`Leon3Core`.  The two are bit-identical on every observable —
+    ``tests/test_fastcore.py`` enforces it — so the flag is
+    result-transparent: it changes throughput only, and both settings share
+    one campaign-store identity (see
+    :func:`repro.store.keys.backend_identity`).  Passing an explicit *core*
+    pins the backend to that instance and ignores ``fast``.
+    """
 
     name = "rtl"
 
-    def __init__(self, core: Optional[Leon3Core] = None, **core_kwargs):
-        self.core = core if core is not None else Leon3Core(**core_kwargs)
+    def __init__(
+        self, core: Optional[Leon3Core] = None, *, fast: bool = True, **core_kwargs
+    ):
+        if core is not None:
+            self.core = core
+        elif fast:
+            self.core = Leon3FastCore(**core_kwargs)
+        else:
+            self.core = Leon3Core(**core_kwargs)
+        # Reflects the engine actually in use (an explicit core overrides
+        # the flag), so diagnostics can trust backend.fast.
+        self.fast = isinstance(self.core, Leon3FastCore)
         self._program: Optional[Program] = None
 
     def prepare(self, program: Program) -> None:

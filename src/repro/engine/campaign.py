@@ -97,6 +97,15 @@ class CampaignConfig:
     #: by non-ISS backends.  Result-transparent, so deliberately not part of
     #: the campaign store key.
     iss_fast: bool = True
+    #: Cycle-engine choice for campaigns on the RTL backend, mirroring
+    #: ``iss_fast``: the fast :class:`~repro.leon3.fastcore.Leon3FastCore`
+    #: (bit-identical to the reference structural model — enforced by
+    #: ``tests/test_fastcore.py``) or with ``False`` the reference
+    #: :class:`~repro.leon3.core.Leon3Core`.  Honoured for the bare
+    #: :class:`Leon3RtlBackend` class and ``functools.partial`` wrappers of it
+    #: that do not bind ``fast`` themselves.  Ignored by non-RTL backends.
+    #: Result-transparent, so deliberately not part of the campaign store key.
+    rtl_fast: bool = True
 
     def __post_init__(self) -> None:
         # Fail at configuration time with a clear message, not deep inside a
@@ -137,42 +146,50 @@ class CampaignEngine:
     ):
         self.program = program
         self.config = config if config is not None else CampaignConfig()
-        self.backend_factory = self._bind_iss_interpreter(
-            backend_factory, self.config.iss_fast
+        self.backend_factory = self._bind_interpreter_flags(
+            backend_factory, self.config.iss_fast, self.config.rtl_fast
         )
         self._backend: Optional[ExecutionBackend] = None
         self._golden: Optional[RunResult] = None
 
     @staticmethod
-    def _bind_iss_interpreter(
-        backend_factory: Callable[[], ExecutionBackend], iss_fast: bool
+    def _bind_interpreter_flags(
+        backend_factory: Callable[[], ExecutionBackend],
+        iss_fast: bool,
+        rtl_fast: bool,
     ) -> Callable[[], ExecutionBackend]:
-        """Honour ``config.iss_fast`` on IssBackend factories.
+        """Honour ``config.iss_fast`` / ``config.rtl_fast`` on factories.
 
-        Applies to the bare :class:`IssBackend` class (the CLI and the figure
-        drivers pass it) and to ``functools.partial`` wrappers of it that do
-        not already bind ``fast`` — by keyword or positionally (an explicit
-        binding wins).  The result is a ``functools.partial`` — picklable for
-        the worker pool, and the store collapses it back to the bare class's
-        identity (the flag is result-transparent).  Opaque factories
+        Applies to the bare :class:`IssBackend` / :class:`Leon3RtlBackend`
+        classes (the CLI and the figure drivers pass them) and to
+        ``functools.partial`` wrappers of them that do not already bind
+        ``fast`` (an explicit binding wins; for :class:`Leon3RtlBackend` the
+        flag is keyword-only, for :class:`IssBackend` two positionals bind
+        it).  The result is a ``functools.partial`` — picklable for the
+        worker pool, and the store collapses it back to the bare class's
+        identity (the flags are result-transparent).  Opaque factories
         (lambdas, closures) cannot be introspected and must pass ``fast=``
         themselves.
         """
         if backend_factory is IssBackend:
             return functools.partial(IssBackend, fast=iss_fast)
-        if (
-            isinstance(backend_factory, functools.partial)
-            and backend_factory.func is IssBackend
-            # IssBackend(detailed_trace, fast): two positionals bind fast.
-            and len(backend_factory.args) < 2
-            and "fast" not in (backend_factory.keywords or {})
-        ):
-            return functools.partial(
-                IssBackend,
-                *backend_factory.args,
-                fast=iss_fast,
-                **(backend_factory.keywords or {}),
-            )
+        if backend_factory is Leon3RtlBackend:
+            return functools.partial(Leon3RtlBackend, fast=rtl_fast)
+        if isinstance(backend_factory, functools.partial):
+            func = backend_factory.func
+            args = backend_factory.args
+            keywords = backend_factory.keywords or {}
+            if (
+                func is IssBackend
+                # IssBackend(detailed_trace, fast): two positionals bind fast.
+                and len(args) < 2
+                and "fast" not in keywords
+            ):
+                return functools.partial(IssBackend, *args, fast=iss_fast, **keywords)
+            if func is Leon3RtlBackend and "fast" not in keywords:
+                return functools.partial(
+                    Leon3RtlBackend, *args, fast=rtl_fast, **keywords
+                )
         return backend_factory
 
     # -- planner-local backend ---------------------------------------------------------

@@ -133,12 +133,16 @@ def run_iu_campaign(
     n_workers: int = 1,
     store_path: Optional[str] = None,
     resume: bool = True,
+    fast: bool = True,
 ) -> Dict[FaultModel, CampaignResult]:
     """Convenience wrapper: campaign over the integer-unit nodes (Figure 5).
 
     With *store_path* the campaign is durable and memoized: an interrupted
     run resumes from its last committed outcome, a repeated run is a pure
-    cache hit (see :mod:`repro.store`).
+    cache hit (see :mod:`repro.store`).  *fast* selects the fast LEON3 cycle
+    engine (default; bit-identical to the reference structural core, just
+    faster) or pins the reference core with ``False``; either engine serves
+    and populates the same stored campaign.
     """
     config = CampaignConfig(
         unit_scope=IU_SCOPE,
@@ -148,6 +152,7 @@ def run_iu_campaign(
         n_workers=n_workers,
         store_path=store_path,
         resume=resume,
+        rtl_fast=fast,
     )
     return FaultInjectionCampaign(program, config).run()
 
@@ -193,10 +198,11 @@ def run_cmem_campaign(
     n_workers: int = 1,
     store_path: Optional[str] = None,
     resume: bool = True,
+    fast: bool = True,
 ) -> Dict[FaultModel, CampaignResult]:
     """Convenience wrapper: campaign over the cache-memory nodes (Figure 6).
 
-    *store_path*/*resume* behave as in :func:`run_iu_campaign`.
+    *store_path*/*resume*/*fast* behave as in :func:`run_iu_campaign`.
     """
     config = CampaignConfig(
         unit_scope=CMEM_SCOPE,
@@ -206,5 +212,6 @@ def run_cmem_campaign(
         n_workers=n_workers,
         store_path=store_path,
         resume=resume,
+        rtl_fast=fast,
     )
     return FaultInjectionCampaign(program, config).run()

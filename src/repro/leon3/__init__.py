@@ -10,11 +10,18 @@ boundary.
 Every intermediate value is driven through the :class:`repro.rtl.Netlist`, so
 each bit of each net and each storage cell is a potential fault-injection
 site, exactly as VHDL signals/ports/variables are in the original study.
+
+Two cycle engines execute the model: the netlist-driven reference
+(:class:`Leon3Core`, the executable specification) and the fast engine
+(:class:`Leon3FastCore` in :mod:`repro.leon3.fastcore`), which flattens the
+pipeline walk and compiles injected faults into sparse per-array hooks while
+staying bit-identical to the reference on every observable.
 """
 
 from repro.leon3.area import AREA_FRACTIONS, area_fraction, unit_area_table
 from repro.leon3.bus import BusMonitor
 from repro.leon3.core import Leon3Core, RtlExecutionResult
+from repro.leon3.fastcore import Leon3FastCore, verify_rtl_bit_identity
 from repro.leon3.iu import IntegerUnit
 
 __all__ = [
@@ -23,6 +30,8 @@ __all__ = [
     "unit_area_table",
     "BusMonitor",
     "Leon3Core",
+    "Leon3FastCore",
+    "verify_rtl_bit_identity",
     "RtlExecutionResult",
     "IntegerUnit",
 ]

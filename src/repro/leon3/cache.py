@@ -48,6 +48,11 @@ class DirectMappedCache:
         self.lines = lines
         self.words_per_line = words_per_line
         self.line_bytes = words_per_line * 4
+        # Both geometry parameters are powers of two (checked above), so the
+        # address decomposition reduces to shifts and masks.  The fast cycle
+        # engine (repro.leon3.fastcore) uses the same decomposition.
+        self.index_shift = self.line_bytes.bit_length() - 1
+        self.tag_shift = self.index_shift + lines.bit_length() - 1
         self.hits = 0
         self.misses = 0
 
@@ -66,9 +71,9 @@ class DirectMappedCache:
 
     def _decompose(self, address: int):
         address = self._netlist.drive(f"{self.name}.addr", address)
-        word_in_line = (address // 4) % self.words_per_line
-        index = (address // self.line_bytes) % self.lines
-        tag = (address // (self.line_bytes * self.lines)) & 0x3FFFFF
+        word_in_line = (address >> 2) & (self.words_per_line - 1)
+        index = (address >> self.index_shift) & (self.lines - 1)
+        tag = (address >> self.tag_shift) & 0x3FFFFF
         index = self._netlist.drive(f"{self.name}.index", index) % self.lines
         tag = self._netlist.drive(f"{self.name}.tag_in", tag)
         return address, index, word_in_line, tag

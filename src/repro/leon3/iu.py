@@ -335,7 +335,7 @@ class IntegerUnit:
             executed["store_data2"] = operands.get("store_data2", 0)
             return executed
 
-        result, icc = self._execute_alu_operation(mnemonic, op1, op2)
+        result, icc = self._execute_alu_operation(defn, op1, op2)
         executed["result"] = result
         executed["icc"] = icc if defn.sets_icc else None
         if defn.sets_icc and icc is not None:
@@ -343,10 +343,10 @@ class IntegerUnit:
             executed["icc"] = observed
         return executed
 
-    def _execute_alu_operation(self, mnemonic: str, op1: int, op2: int):
+    def _execute_alu_operation(self, defn: InstructionDef, op1: int, op2: int):
         alu = self._alu
         psr = self._psr
-        base = mnemonic[:-2] if mnemonic.endswith("cc") else mnemonic
+        base = defn.alu_base
         carry = psr.read_icc().c
 
         if base == "add":
@@ -368,7 +368,7 @@ class IntegerUnit:
         if base in ("udiv", "sdiv"):
             quotient = alu.divide(psr.read_y(), op1, op2, signed=base == "sdiv")
             return quotient, icc_logic(quotient)
-        raise IuTrap("illegal_instruction", f"no semantics for {mnemonic}")
+        raise IuTrap("illegal_instruction", f"no semantics for {defn.mnemonic}")
 
     # ------------------------------------------------------------------ ME
 

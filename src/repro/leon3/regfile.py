@@ -17,6 +17,30 @@ from repro.rtl.netlist import Netlist
 UNIT_REGFILE = "iu.regfile"
 
 
+def physical_register_index(reg: int, cwp: int, nwindows: int) -> int:
+    """Map an architectural register to its physical storage cell.
+
+    Globals occupy the first :data:`NUM_GLOBALS` cells; each window
+    contributes 8 locals followed by 8 ins, with the outs of window ``w``
+    overlapping the ins of window ``w + 1``.  This is the single definition of
+    the mapping — the structural register file and the fast cycle engine
+    (:mod:`repro.leon3.fastcore`, which inlines the same arithmetic in its hot
+    path) must agree on it bit for bit.
+    """
+    if reg < NUM_GLOBALS:
+        return reg
+    if reg <= 15:  # outs overlap the ins of the next window
+        window = (cwp + 1) % nwindows
+        offset = (reg - 8) + 8
+    elif reg <= 23:  # locals
+        window = cwp
+        offset = reg - 16
+    else:  # ins
+        window = cwp
+        offset = (reg - 24) + 8
+    return NUM_GLOBALS + window * WINDOW_REGS + offset
+
+
 class RegisterFileRtl:
     """Windowed register file with port nets and injectable storage cells."""
 
@@ -38,18 +62,7 @@ class RegisterFileRtl:
     # -- physical mapping -----------------------------------------------------------
 
     def _physical_index(self, reg: int, cwp: int) -> int:
-        if reg < NUM_GLOBALS:
-            return reg
-        if 8 <= reg <= 15:  # outs overlap the ins of the next window
-            window = (cwp + 1) % self.nwindows
-            offset = (reg - 8) + 8
-        elif 16 <= reg <= 23:  # locals
-            window = cwp
-            offset = reg - 16
-        else:  # ins
-            window = cwp
-            offset = (reg - 24) + 8
-        return NUM_GLOBALS + window * WINDOW_REGS + offset
+        return physical_register_index(reg, cwp, self.nwindows)
 
     # -- port access --------------------------------------------------------------------
 

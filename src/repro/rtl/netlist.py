@@ -229,7 +229,15 @@ class StorageArray:
         return faults
 
     def reset(self) -> None:
+        # _last_read is part of the per-run fault-observable state (it is the
+        # "previous value" of the open-line model): resetting it makes every
+        # run a pure function of the memory image and the injected faults.
+        # Before this reset, a backend reused across injection runs leaked the
+        # last value read in the *previous* run into the first faulted read of
+        # the next one, which made open-line outcomes depend on how jobs were
+        # partitioned across workers (a result-transparency violation).
         self._data = [0] * self.cells
+        self._last_read = 0
 
     def load(self, values: Sequence[int]) -> None:
         """Bulk-initialise the array (used to preload memories in tests)."""

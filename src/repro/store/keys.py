@@ -23,7 +23,12 @@ import hashlib
 import json
 from typing import Callable, Sequence
 
-from repro.engine.backend import WATCHDOG_FACTOR, WATCHDOG_SLACK, IssBackend
+from repro.engine.backend import (
+    WATCHDOG_FACTOR,
+    WATCHDOG_SLACK,
+    IssBackend,
+    Leon3RtlBackend,
+)
 from repro.isa.assembler import Program
 from repro.rtl.faults import FaultModel
 from repro.rtl.sites import FaultSite
@@ -51,6 +56,26 @@ from repro.rtl.sites import FaultSite
 #: * ``SimulationError`` runs previously crashed the campaign before any
 #:   outcome could be committed, so no stored outcome can disagree with the
 #:   new trap classification.
+#:
+#: Also deliberately **not** bumped for the RTL fast-path PR:
+#:
+#: * The fast LEON3 cycle engine is bit-identical to the reference structural
+#:   core on every observable, fault-free and under injection — enforced by
+#:   ``tests/test_fastcore.py`` across the workload registry and re-verified
+#:   by ``benchmarks/bench_rtl_throughput.py`` before it reports any number.
+#:   Like the ISS interpreter choice, the cycle-engine choice is an execution
+#:   strategy, not a result input.
+#: * The ``StorageArray._last_read`` reset fix (see
+#:   :meth:`repro.rtl.netlist.StorageArray.reset`) closes a cross-run leak
+#:   through the open-line "previous value": before the fix, an open-line
+#:   array fault whose faulted cell was the *first* cell of its array read in
+#:   a run observed a value leaked from whatever run happened to precede it
+#:   on that worker's reused backend.  Such outcomes depended on scheduler
+#:   partitioning and ``n_workers`` — values deliberately excluded from the
+#:   key — so the key never validly addressed them in the first place: the
+#:   store's bit-identity guarantee was vacuous for exactly the runs the fix
+#:   changes, and re-running them pre-fix could already disagree with what
+#:   was stored.  Every run whose outcome *was* reproducible is unaffected.
 KEY_VERSION = 1
 
 
@@ -116,9 +141,13 @@ def backend_identity(
     *result-transparent* interpreter flags (``fast``, ``detailed_trace``) —
     the fast interpreter is bit-identical to the reference (see
     :data:`KEY_VERSION`) — so every interpreter choice reads and populates
-    the same stored campaign.  Any *other* partial — another backend class,
-    whose bound arguments can change results (e.g. cache geometry) — keeps
-    its bound arguments in the identity string, so it can never alias the
+    the same stored campaign.  :class:`Leon3RtlBackend` partials get the same
+    treatment for their ``fast`` flag only (the fast cycle engine is
+    bit-identical to the reference structural core): ``fast`` is dropped from
+    the bound arguments, and the partial collapses to the bare class when
+    nothing else is bound.  Any *other* bound argument — on the RTL backend
+    or any other backend class — can change results (e.g. cache geometry)
+    and keeps its place in the identity string, so it can never alias the
     bare factory's stored campaigns.  Bound primitives render by value and
     classes by qualified name (stable across processes); binding arbitrary
     object *instances* raises — use a named zero-argument factory function
@@ -127,10 +156,15 @@ def backend_identity(
     bound = ""
     while isinstance(backend_factory, functools.partial):
         args = backend_factory.args
-        keywords = backend_factory.keywords or {}
+        keywords = dict(backend_factory.keywords or {})
         if backend_factory.func is IssBackend:
             backend_factory = backend_factory.func
             continue
+        if backend_factory.func is Leon3RtlBackend:
+            keywords.pop("fast", None)  # result-transparent cycle-engine flag
+            if not args and not keywords:
+                backend_factory = backend_factory.func
+                continue
         rendered = ",".join(
             [_render_bound(value) for value in args]
             + [f"{key}={_render_bound(value)}" for key, value in sorted(keywords.items())]
