@@ -1,0 +1,245 @@
+#!/usr/bin/env python3
+"""Transient injection throughput: checkpointed runtime vs from-reset runs.
+
+Runs the same transient campaign plan — storage-cell sites x sampled start
+times, the exact job list ``CampaignEngine`` plans — twice on each backend:
+once the naive way (every injection re-executes the workload from reset) and
+once through the checkpointed runtime of :mod:`repro.engine.checkpoint`
+(golden snapshot ladder, fork-from-checkpoint, early-convergence exit),
+**verifying bit-identity of the golden and of every injection pair before
+any number is reported** (a wrong-but-fast runtime is worthless).  The
+checkpointed leg's time includes recording the ladder, so the reported
+speedup is the honest campaign-level figure.
+
+Workloads run at ``--iterations`` loop iterations (default 4, longer than
+the permanent-campaign instances): transient campaigns sample the *time*
+axis of the workload, so longer-running instances are the representative
+case — and the paper's core argument is that their injection counts are what
+makes transient studies expensive.
+
+Writes/updates a ``BENCH_transient_throughput.json`` baseline next to the
+repo root so CI and future optimisation PRs can track the trend:
+
+    python benchmarks/bench_transient_throughput.py                  # record
+    python benchmarks/bench_transient_throughput.py --no-write       # measure
+    python benchmarks/bench_transient_throughput.py --check          # CI gate
+
+``--check`` compares the measured aggregate *speedup* against the committed
+baseline, failing on a >20% regression or on a speedup below the 3x floor
+the checkpointed runtime is required to clear.  The speedup ratio is the
+machine-portable metric; absolute injections/second are recorded for context
+but never compared across machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.engine.backend import (  # noqa: E402
+    IssBackend,
+    Leon3RtlBackend,
+    watchdog_budget,
+)
+from repro.engine.checkpoint import assert_run_results_identical  # noqa: E402
+from repro.engine.jobs import plan_transient_jobs  # noqa: E402
+from repro.workloads import build_program  # noqa: E402
+
+BASELINE_PATH = (
+    Path(__file__).resolve().parents[1] / "BENCH_transient_throughput.json"
+)
+
+#: The RTL-scale workload mix of the other throughput benches.
+DEFAULT_WORKLOADS = ("rspeed", "membench", "intbench")
+
+#: Tolerated relative speedup regression against the committed baseline.
+REGRESSION_TOLERANCE = 0.20
+
+#: Hard floor on the aggregate checkpointed-vs-from-reset speedup.
+SPEEDUP_FLOOR = 3.0
+
+BACKENDS = {"rtl": Leon3RtlBackend, "iss": IssBackend}
+
+
+def measure(backend_name, program, sites, windows, seed, max_instructions):
+    """One workload on one backend: plan, run both legs, verify, time."""
+    backend = BACKENDS[backend_name]()
+    backend.prepare(program)
+    golden = backend.run(max_instructions=max_instructions)
+    if not golden.normal_exit:
+        raise SystemExit(
+            f"ERROR: golden run of {program.name!r} on {backend_name} "
+            f"did not exit normally"
+        )
+    budget = watchdog_budget(golden.instructions)
+    horizon = (
+        golden.cycles if backend.transient_unit == "cycles" else golden.instructions
+    )
+    site_list = backend.sites.sample(
+        sites, seed=seed, storage_only=True
+    )
+    jobs = plan_transient_jobs(
+        site_list, horizon=horizon, windows=windows, duration=1,
+        seed=seed, workload=program.name,
+    )
+
+    start = time.perf_counter()
+    reference = [
+        backend.run(max_instructions=budget, faults=[job.fault]) for job in jobs
+    ]
+    reference_seconds = time.perf_counter() - start
+
+    # The checkpointed leg pays for its own ladder (recorded inside golden()).
+    start = time.perf_counter()
+    runner = backend.checkpoint_runner(max_instructions)
+    ladder_golden = runner.golden()
+    checkpointed = [runner.run_transient(job.fault, budget) for job in jobs]
+    fast_seconds = time.perf_counter() - start
+
+    assert_run_results_identical(golden, ladder_golden)
+    for job, expected, observed in zip(jobs, reference, checkpointed):
+        try:
+            assert_run_results_identical(expected, observed)
+        except AssertionError as error:
+            raise SystemExit(
+                f"ERROR: checkpointed run diverges from from-reset on "
+                f"{program.name!r}/{backend_name} under {job.fault.describe()}: "
+                f"{error}"
+            )
+    return {
+        "injections": len(jobs),
+        "golden_instructions": golden.instructions,
+        "ladder_rungs": len(runner.ladder().checkpoints),
+        "early_exits": runner.early_exits,
+        "from_reset": {
+            "seconds": round(reference_seconds, 4),
+            "injections_per_second": round(len(jobs) / reference_seconds, 2),
+        },
+        "checkpointed": {
+            "seconds": round(fast_seconds, 4),
+            "injections_per_second": round(len(jobs) / fast_seconds, 2),
+        },
+        "speedup": round(reference_seconds / fast_seconds, 2),
+    }, reference_seconds, fast_seconds
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workloads", nargs="+", default=list(DEFAULT_WORKLOADS))
+    parser.add_argument("--iterations", type=int, default=4,
+                        help="workload loop iterations (default: 4 — transient "
+                             "campaigns sample the time axis, so longer runs "
+                             "are the representative case)")
+    parser.add_argument("--sites", type=int, default=8,
+                        help="storage sites sampled per workload (default: 8)")
+    parser.add_argument("--windows", type=int, default=3,
+                        help="transient start times sampled per site "
+                             "(default: 3)")
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument("--max-instructions", type=int, default=400_000)
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure and print only; do not update the baseline")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on a >20%% speedup regression vs the committed "
+                             "baseline or an aggregate speedup below "
+                             f"{SPEEDUP_FLOOR}x (bit-identity always verified)")
+    args = parser.parse_args()
+
+    rows = []
+    total_injections = 0
+    total_ref_s = 0.0
+    total_fast_s = 0.0
+    print(f"Transient injection throughput: {len(args.workloads)} workloads x "
+          f"{sorted(BACKENDS)} backends, {args.sites} sites x {args.windows} "
+          f"windows each")
+    for name in args.workloads:
+        program = build_program(name, iterations=args.iterations)
+        for backend_name in sorted(BACKENDS):
+            row, ref_s, fast_s = measure(
+                backend_name, program, args.sites, args.windows,
+                args.seed, args.max_instructions,
+            )
+            row = {"workload": name, "backend": backend_name, **row}
+            rows.append(row)
+            total_injections += row["injections"]
+            total_ref_s += ref_s
+            total_fast_s += fast_s
+            print(f"  {name:10s} {backend_name}  {row['injections']:4d} inj  "
+                  f"({row['early_exits']:3d} early exits, "
+                  f"{row['ladder_rungs']:3d} rungs)   "
+                  f"reset {row['from_reset']['injections_per_second']:8.2f} inj/s   "
+                  f"ckpt {row['checkpointed']['injections_per_second']:8.2f} inj/s   "
+                  f"{row['speedup']:5.2f}x  (bit-identical)")
+
+    aggregate_speedup = total_ref_s / total_fast_s
+    print(f"  aggregate: reset {total_injections / total_ref_s:.2f} inj/s, "
+          f"checkpointed {total_injections / total_fast_s:.2f} inj/s "
+          f"-> {aggregate_speedup:.2f}x speedup")
+
+    baseline = {
+        "benchmark": "transient_throughput",
+        "workloads": list(args.workloads),
+        "iterations": args.iterations,
+        "sites_per_workload": args.sites,
+        "windows_per_site": args.windows,
+        "seed": args.seed,
+        "max_instructions": args.max_instructions,
+        "cpu_count": os.cpu_count(),
+        "python": platform.python_version(),
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "per_run": rows,
+        "aggregate": {
+            "injections": total_injections,
+            "from_reset_injections_per_second": round(
+                total_injections / total_ref_s, 2
+            ),
+            "checkpointed_injections_per_second": round(
+                total_injections / total_fast_s, 2
+            ),
+            "speedup": round(aggregate_speedup, 2),
+        },
+    }
+
+    if args.check:
+        if not BASELINE_PATH.exists():
+            print(f"ERROR: --check requires a committed baseline at {BASELINE_PATH}")
+            return 1
+        committed = json.loads(BASELINE_PATH.read_text())
+        for field in ("workloads", "iterations", "sites_per_workload",
+                      "windows_per_site", "seed", "max_instructions"):
+            if baseline[field] != committed.get(field):
+                print(f"ERROR: --check configuration mismatch on {field!r}: "
+                      f"measured {baseline[field]!r} vs baseline "
+                      f"{committed.get(field)!r}; re-run with the baseline's "
+                      f"configuration (or re-record the baseline)")
+                return 1
+        floor = max(
+            committed["aggregate"]["speedup"] * (1.0 - REGRESSION_TOLERANCE),
+            SPEEDUP_FLOOR,
+        )
+        print(f"  check: measured speedup {aggregate_speedup:.2f}x vs baseline "
+              f"{committed['aggregate']['speedup']:.2f}x (floor {floor:.2f}x)")
+        if aggregate_speedup < floor:
+            print("ERROR: checkpointed-runtime throughput fell below the floor "
+                  f"({REGRESSION_TOLERANCE:.0%} under the committed baseline, "
+                  f"never below {SPEEDUP_FLOOR}x)")
+            return 1
+        print("  check: ok")
+
+    if args.no_write:
+        print(json.dumps(baseline, indent=2))
+    else:
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"  baseline written   : {BASELINE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,9 @@ experiments run:
   :class:`OutcomeRecord` records and campaign planning.
 * :mod:`repro.engine.schedulers` — serial and multiprocessing job execution
   with per-worker golden-run caching.
+* :mod:`repro.engine.checkpoint` — the checkpointed transient-fault runtime:
+  golden snapshot ladders, fork-from-checkpoint injection and the
+  early-convergence exit (bit-identical to from-reset execution).
 * :mod:`repro.engine.campaign` — :class:`CampaignEngine`, which plans a
   campaign, runs it through a scheduler and streams outcomes into
   :class:`~repro.faultinjection.results.CampaignResult` aggregates.
@@ -31,7 +34,19 @@ from repro.engine.campaign import (
     ProgressCallback,
     reference_run_seconds,
 )
-from repro.engine.jobs import CampaignPlan, InjectionJob, OutcomeRecord, plan_jobs
+from repro.engine.checkpoint import (
+    Checkpoint,
+    CheckpointLadder,
+    make_checkpoint_runner,
+)
+from repro.engine.jobs import (
+    CampaignPlan,
+    InjectionJob,
+    OutcomeRecord,
+    TransientJob,
+    plan_jobs,
+    plan_transient_jobs,
+)
 from repro.engine.schedulers import (
     MultiprocessingScheduler,
     SerialScheduler,
@@ -50,8 +65,13 @@ __all__ = [
     "reference_run_seconds",
     "CampaignPlan",
     "InjectionJob",
+    "TransientJob",
     "OutcomeRecord",
     "plan_jobs",
+    "plan_transient_jobs",
+    "Checkpoint",
+    "CheckpointLadder",
+    "make_checkpoint_runner",
     "MultiprocessingScheduler",
     "SerialScheduler",
     "make_scheduler",

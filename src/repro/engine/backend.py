@@ -36,7 +36,7 @@ from repro.iss.memory import Memory
 from repro.iss.trace import ExecutionTrace, OffCoreTransaction
 from repro.leon3.core import Leon3Core, RtlExecutionResult
 from repro.leon3.fastcore import Leon3FastCore
-from repro.rtl.faults import FaultModel, PermanentFault
+from repro.rtl.faults import FaultModel, PermanentFault, TransientFault
 from repro.rtl.sites import SiteUniverse
 
 #: Head-room factor applied to the golden instruction count to detect hangs.
@@ -97,7 +97,7 @@ class ExecutionBackend(Protocol):
     def run(
         self,
         max_instructions: int,
-        faults: Iterable[PermanentFault] = (),
+        faults: Iterable[Union[PermanentFault, TransientFault]] = (),
     ) -> RunResult:
         """Execute the prepared program from reset with *faults* active."""
 
@@ -117,6 +117,8 @@ class Leon3RtlBackend:
     """
 
     name = "rtl"
+    #: Time unit of TransientFault windows on this backend (netlist cycles).
+    transient_unit = "cycles"
 
     def __init__(
         self, core: Optional[Leon3Core] = None, *, fast: bool = True, **core_kwargs
@@ -137,13 +139,38 @@ class Leon3RtlBackend:
         self.core.load_program(program)
 
     @property
+    def program(self) -> Optional[Program]:
+        """The prepared program (``None`` before :meth:`prepare`)."""
+        return self._program
+
+    @property
     def sites(self) -> SiteUniverse:
         return self.core.sites
+
+    @property
+    def supports_checkpoints(self) -> bool:
+        """True when the fast cycle engine can record/restore ladder rungs.
+
+        Requires the fast engine (the reference core has no snapshot API)
+        with aggregate tracing (detailed traces carry per-instruction records
+        that cannot be spliced).
+        """
+        return self.fast and not self.core.detailed_trace
+
+    def checkpoint_runner(
+        self, max_instructions: int, interval: Optional[int] = None
+    ):
+        """Build the checkpointed transient runtime for this backend
+        (see :mod:`repro.engine.checkpoint`); ``None`` when unsupported."""
+        # Imported lazily: checkpoint.py imports this module.
+        from repro.engine.checkpoint import make_checkpoint_runner
+
+        return make_checkpoint_runner(self, max_instructions, interval)
 
     def run(
         self,
         max_instructions: int,
-        faults: Iterable[PermanentFault] = (),
+        faults: Iterable[Union[PermanentFault, TransientFault]] = (),
     ) -> RunResult:
         if self._program is None:
             raise RuntimeError("backend not prepared: call prepare(program) first")
@@ -201,6 +228,11 @@ class IssBackend:
     """
 
     name = "iss"
+    #: Time unit of TransientFault windows on this backend: the functional
+    #: ISS has no cycle-accurate notion of time, so transient windows are
+    #: expressed in executed-instruction indices (the unit the architectural
+    #: ``bit_flip`` trigger already uses).
+    transient_unit = "instructions"
 
     def __init__(self, detailed_trace: bool = False, fast: bool = True):
         self.detailed_trace = detailed_trace
@@ -215,13 +247,36 @@ class IssBackend:
         self._program = program
 
     @property
+    def program(self) -> Optional[Program]:
+        """The prepared program (``None`` before :meth:`prepare`)."""
+        return self._program
+
+    @property
     def sites(self) -> SiteUniverse:
         return self._sites
+
+    @property
+    def supports_checkpoints(self) -> bool:
+        """True when the fast-path interpreter can record/restore ladder
+        rungs (the reference interpreter has no snapshot API; detailed traces
+        cannot be spliced)."""
+        return self.fast and not self.detailed_trace
+
+    def checkpoint_runner(
+        self, max_instructions: int, interval: Optional[int] = None
+    ):
+        """Build the checkpointed transient runtime for this backend
+        (see :mod:`repro.engine.checkpoint`); ``None`` when unsupported."""
+        from repro.engine.checkpoint import make_checkpoint_runner
+
+        return make_checkpoint_runner(self, max_instructions, interval)
 
     def run(
         self,
         max_instructions: int,
-        faults: Iterable[Union[PermanentFault, ArchitecturalFault]] = (),
+        faults: Iterable[
+            Union[PermanentFault, TransientFault, ArchitecturalFault]
+        ] = (),
     ) -> RunResult:
         if self._program is None:
             raise RuntimeError("backend not prepared: call prepare(program) first")
@@ -242,16 +297,7 @@ class IssBackend:
             emulator = Emulator(memory=Memory(), detailed_trace=self.detailed_trace)
         emulator.load_program(self._program)
         native: ExecutionResult = emulator.run(max_instructions=max_instructions)
-        # Budget exhaustion is reported as a "watchdog" trap event by the
-        # emulator; the RTL model reports it as a non-halted run with no trap.
-        # Normalise to the latter so the comparator classifies both as HANG.
-        trap_kind = None
-        if (
-            native.trap is not None
-            and not native.trap.is_exit
-            and native.trap.kind != "watchdog"
-        ):
-            trap_kind = native.trap.kind
+        trap_kind = self.normalize_trap_kind(native.trap)
         return RunResult(
             backend=self.name,
             transactions=native.transactions,
@@ -264,8 +310,23 @@ class IssBackend:
         )
 
     @staticmethod
+    def normalize_trap_kind(trap) -> Optional[str]:
+        """The ISS result's trap kind as campaigns observe it.
+
+        Budget exhaustion is reported as a "watchdog" trap event by the
+        emulator; the RTL model reports it as a non-halted run with no trap.
+        Normalise to the latter so the comparator classifies both as HANG;
+        clean exits likewise carry no trap kind.  The one definition shared
+        by :meth:`run` and the checkpointed transient runtime, so fork
+        results cannot drift from from-reset results.
+        """
+        if trap is not None and not trap.is_exit and trap.kind != "watchdog":
+            return trap.kind
+        return None
+
+    @staticmethod
     def _to_architectural(
-        fault: Union[PermanentFault, ArchitecturalFault]
+        fault: Union[PermanentFault, TransientFault, ArchitecturalFault]
     ) -> ArchitecturalFault:
         if isinstance(fault, ArchitecturalFault):
             return fault
@@ -274,6 +335,18 @@ class IssBackend:
             raise ValueError(
                 f"site {site.describe()} is not an architectural register-file "
                 f"site; the ISS backend injects into {ARCH_REGFILE_UNIT!r} only"
+            )
+        if isinstance(fault, TransientFault):
+            # A transient is a single-event upset of the register cell when
+            # the executed-instruction count reaches the window start (the
+            # ISS time unit — see ``transient_unit``).  The checkpointed
+            # runtime uses this same mapping, so fork and from-reset runs
+            # share one fault semantics by construction.
+            return ArchitecturalFault(
+                register=site.index,
+                bit=site.bit,
+                model="bit_flip",
+                trigger_index=fault.start_cycle,
             )
         return ArchitecturalFault(
             register=site.index, bit=site.bit, model=_ARCH_MODEL[fault.model]

@@ -31,7 +31,7 @@ from __future__ import annotations
 import functools
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.faultinjection.results import CampaignResult, InjectionOutcome
 from repro.isa.assembler import Program
@@ -45,7 +45,13 @@ from repro.engine.backend import (
     Leon3RtlBackend,
     RunResult,
 )
-from repro.engine.jobs import CampaignPlan, OutcomeRecord, plan_jobs
+from repro.engine.checkpoint import make_checkpoint_runner
+from repro.engine.jobs import (
+    CampaignPlan,
+    OutcomeRecord,
+    plan_jobs,
+    plan_transient_jobs,
+)
 from repro.engine.schedulers import KNOWN_SCHEDULERS, make_scheduler
 
 #: Progress callback: (completed jobs, total jobs, outcome just finished).
@@ -106,6 +112,26 @@ class CampaignConfig:
     #: that do not bind ``fast`` themselves.  Ignored by non-RTL backends.
     #: Result-transparent, so deliberately not part of the campaign store key.
     rtl_fast: bool = True
+    #: Transient (SEU-style) campaign mode: number of start times sampled per
+    #: site from the golden run's length.  ``None`` (the default) plans the
+    #: paper's permanent-fault campaign; an integer switches the campaign to
+    #: transient jobs (site x start-time sample over storage cells, outcomes
+    #: aggregated under ``FaultModel.TRANSIENT``) executed through the
+    #: checkpointed runtime of :mod:`repro.engine.checkpoint` where the
+    #: backend supports it.
+    transient_windows: Optional[int] = None
+    #: Window length of planned transient faults, in backend-native time
+    #: units (RTL cycles; on the ISS the upset fires once at window start).
+    transient_duration: int = 1
+    #: Rung spacing of the golden checkpoint ladder, in instructions.
+    #: ``None`` selects the adaptive ladder (spacing scales with the golden
+    #: run).  Result-transparent — forks are bit-identical to from-reset
+    #: execution — so deliberately not part of the campaign store key.
+    checkpoint_interval: Optional[int] = None
+    #: Early-convergence exit: splice the golden tail once a fork's
+    #: post-window state digest matches the golden ladder.  Result-
+    #: transparent, so deliberately not part of the campaign store key.
+    early_exit: bool = True
 
     def __post_init__(self) -> None:
         # Fail at configuration time with a clear message, not deep inside a
@@ -130,6 +156,35 @@ class CampaignConfig:
             )
         if not self.fault_models:
             raise ValueError("fault_models must name at least one fault model")
+        if self.transient_windows is not None and self.transient_windows < 1:
+            raise ValueError(
+                f"transient_windows must be >= 1 or None (permanent campaign), "
+                f"got {self.transient_windows}"
+            )
+        if self.transient_windows is not None and list(self.fault_models) != list(
+            ALL_FAULT_MODELS
+        ):
+            # Silently discarding an explicit model restriction would hand
+            # the caller a TRANSIENT-bucket result they did not ask for.
+            raise ValueError(
+                "transient campaigns aggregate under the single "
+                "FaultModel.TRANSIENT bucket; fault_models cannot be "
+                "restricted (drop fault_models or transient_windows)"
+            )
+        if self.transient_duration < 1:
+            raise ValueError(
+                f"transient_duration must be >= 1, got {self.transient_duration}"
+            )
+        if self.checkpoint_interval is not None and self.checkpoint_interval < 1:
+            raise ValueError(
+                f"checkpoint_interval must be >= 1 or None (adaptive), "
+                f"got {self.checkpoint_interval}"
+            )
+
+    @property
+    def transient(self) -> bool:
+        """True when this configuration plans a transient campaign."""
+        return self.transient_windows is not None
 
     def scopes(self) -> List[str]:
         return [self.unit_scope]
@@ -151,6 +206,10 @@ class CampaignEngine:
         )
         self._backend: Optional[ExecutionBackend] = None
         self._golden: Optional[RunResult] = None
+        #: Planner-local checkpoint runner of a transient campaign (its
+        #: ladder recording doubles as the golden run; the serial scheduler
+        #: reuses it through the plan, workers build their own).
+        self._runner = None
 
     @staticmethod
     def _bind_interpreter_flags(
@@ -203,11 +262,28 @@ class CampaignEngine:
         return self._backend
 
     def golden_run(self) -> RunResult:
-        """Fault-free reference run on the local backend (cached)."""
+        """Fault-free reference run on the local backend (cached).
+
+        For transient campaigns on a checkpoint-capable backend the golden
+        run *is* the ladder recording (bit-identical to a plain run — the
+        checkpoint contract), so the campaign pays for one golden execution,
+        not two.
+        """
         if self._golden is None:
-            golden = self.backend.run(
-                max_instructions=self.config.max_instructions
-            )
+            golden = None
+            if self.config.transient:
+                runner = make_checkpoint_runner(
+                    self.backend,
+                    self.config.max_instructions,
+                    self.config.checkpoint_interval,
+                )
+                if runner is not None:
+                    self._runner = runner
+                    golden = runner.golden()
+            if golden is None:
+                golden = self.backend.run(
+                    max_instructions=self.config.max_instructions
+                )
             if not golden.normal_exit:
                 raise RuntimeError(
                     f"golden run of {self.program.name!r} did not exit normally "
@@ -223,14 +299,80 @@ class CampaignEngine:
 
         The sample is a pure function of the backend's site universe and the
         config seed, so every fault model — and every worker — sees the same
-        population.
+        population.  Transient campaigns restrict the population to storage
+        cells (register file, cache arrays): an SEU is an upset of a state
+        element, and only storage sites can fork from checkpoints.
         """
         universe = self.backend.sites
         scope = self.config.scopes()
+        storage_only = self.config.transient
         if self.config.sample_size is None:
-            return list(universe.iter_sites(scope))
+            return list(universe.iter_sites(scope, storage_only=storage_only))
         return universe.sample(
-            self.config.sample_size, units=scope, seed=self.config.seed
+            self.config.sample_size,
+            units=scope,
+            seed=self.config.seed,
+            storage_only=storage_only,
+        )
+
+    def _models(
+        self, fault_models: Optional[Sequence[FaultModel]]
+    ) -> Tuple[FaultModel, ...]:
+        """The result buckets of this campaign (transient mode has one)."""
+        if self.config.transient:
+            if fault_models is not None:
+                raise ValueError(
+                    "transient campaigns aggregate under the single "
+                    "FaultModel.TRANSIENT bucket; drop the explicit "
+                    "fault_models argument (or transient_windows)"
+                )
+            return (FaultModel.TRANSIENT,)
+        return tuple(
+            fault_models if fault_models is not None else self.config.fault_models
+        )
+
+    def _transient_meta(self) -> dict:
+        """Window parameters of a transient campaign — the one definition
+        both the content key (:meth:`store_key`) and the stored
+        configuration (``begin_campaign``) are built from."""
+        return {
+            "windows": self.config.transient_windows,
+            "duration": self.config.transient_duration,
+            "unit": getattr(self.backend, "transient_unit", "cycles"),
+        }
+
+    def _plan_job_list(
+        self, models: Tuple[FaultModel, ...], site_list: List[FaultSite]
+    ):
+        """Expand the site sample into the canonical job list.
+
+        Transient planning samples start times from the golden run's length
+        in the backend's native time unit, so it (deterministically) runs the
+        golden first.
+        """
+        config = self.config
+        if not config.transient:
+            return plan_jobs(site_list, models, self.program.name)
+        if not site_list:
+            raise ValueError(
+                f"transient campaigns inject into storage cells only, and "
+                f"unit scope {config.unit_scope!r} contains none (its sites "
+                f"are combinational nets); widen the scope (e.g. 'iu' for "
+                f"the register file, 'cmem' for the cache arrays)"
+            )
+        golden = self.golden_run()
+        horizon = (
+            golden.cycles
+            if getattr(self.backend, "transient_unit", "cycles") == "cycles"
+            else golden.instructions
+        )
+        return plan_transient_jobs(
+            site_list,
+            horizon=horizon,
+            windows=config.transient_windows,
+            duration=config.transient_duration,
+            seed=config.seed,
+            workload=self.program.name,
         )
 
     def plan(
@@ -240,11 +382,9 @@ class CampaignEngine:
     ) -> CampaignPlan:
         """Build the executable plan: golden run + site sample + job list."""
         golden = self.golden_run()
-        models = tuple(
-            fault_models if fault_models is not None else self.config.fault_models
-        )
+        models = self._models(fault_models)
         site_list = list(sites) if sites is not None else self.select_sites()
-        jobs = plan_jobs(site_list, models, self.program.name)
+        jobs = self._plan_job_list(models, site_list)
         return CampaignPlan(
             program=self.program,
             backend_factory=self.backend_factory,
@@ -255,6 +395,39 @@ class CampaignEngine:
             max_instructions=self.config.max_instructions,
             backend=self.backend,
             golden=golden,
+            checkpoint_interval=self.config.checkpoint_interval,
+            early_exit=self.config.early_exit,
+            runner=self._runner,
+        )
+
+    def store_key(self) -> str:
+        """The content key this campaign is (or would be) stored under.
+
+        Derived exactly as the durable path derives it, including the
+        transient window sample for transient campaigns (which
+        deterministically runs the golden to plan it).
+        """
+        # Imported lazily: the store subsystem sits beside the engine.
+        from repro.store.keys import backend_identity, campaign_key, transient_token
+
+        config = self.config
+        models = self._models(None)
+        site_list = self.select_sites()
+        transient = None
+        if config.transient:
+            jobs = self._plan_job_list(models, site_list)
+            transient = dict(self._transient_meta())
+            transient["jobs"] = [transient_token(job) for job in jobs]
+        return campaign_key(
+            program=self.program,
+            sites=site_list,
+            fault_models=models,
+            seed=config.seed,
+            backend_id=backend_identity(self.backend.name, self.backend_factory),
+            unit_scope=config.unit_scope,
+            sample_size=config.sample_size,
+            max_instructions=config.max_instructions,
+            transient=transient,
         )
 
     # -- execution ----------------------------------------------------------------------
@@ -346,11 +519,9 @@ class CampaignEngine:
         single uninterrupted run whatever the commit pattern was.
         """
         config = self.config
-        models = tuple(
-            fault_models if fault_models is not None else config.fault_models
-        )
+        models = self._models(fault_models)
         site_list = list(sites) if sites is not None else self.select_sites()
-        jobs = plan_jobs(site_list, models, self.program.name)
+        jobs = self._plan_job_list(models, site_list)
         session = store.begin_campaign(
             program=self.program,
             sites=site_list,
@@ -362,6 +533,8 @@ class CampaignEngine:
             backend_name=self.backend.name,
             backend_factory=self.backend_factory,
             total_jobs=len(jobs),
+            transient_jobs=jobs if config.transient else None,
+            transient_config=self._transient_meta() if config.transient else None,
         )
         if not config.resume:
             session.reset()
@@ -444,6 +617,9 @@ class CampaignEngine:
                     max_instructions=config.max_instructions,
                     backend=self.backend,
                     golden=self.golden_run(),
+                    checkpoint_interval=config.checkpoint_interval,
+                    early_exit=config.early_exit,
+                    runner=self._runner,
                 )
                 scheduler = make_scheduler(
                     config.scheduler, config.n_workers, config.chunk_size

@@ -1,22 +1,23 @@
 """Campaign planning: picklable injection jobs and outcome records.
 
 A campaign is planned *up front* as a flat list of :class:`InjectionJob`s
-(site x fault-model x workload).  Jobs and the :class:`OutcomeRecord`s that
-come back are small frozen dataclasses built only from picklable leaves
-(strings, ints, enums), so a plan can be executed by any scheduler — in
-process, across a :mod:`multiprocessing` pool, or, later, shipped to remote
-workers.
+(site x fault-model x workload) or :class:`TransientJob`s (site x sampled
+start time).  Jobs and the :class:`OutcomeRecord`s that come back are small
+frozen dataclasses built only from picklable leaves (strings, ints, enums),
+so a plan can be executed by any scheduler — in process, across a
+:mod:`multiprocessing` pool, or, later, shipped to remote workers.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.faultinjection.comparison import FailureClass
 from repro.faultinjection.results import InjectionOutcome
 from repro.isa.assembler import Program
-from repro.rtl.faults import FaultModel, PermanentFault
+from repro.rtl.faults import FaultModel, PermanentFault, TransientFault
 from repro.rtl.sites import FaultSite
 
 from repro.engine.backend import ExecutionBackend, RunResult
@@ -38,10 +39,37 @@ class InjectionJob:
 
 
 @dataclass(frozen=True)
+class TransientJob:
+    """One transient-injection experiment: a storage cell upset at a sampled
+    start time (backend-native units — RTL cycles / ISS instruction indices).
+    """
+
+    #: Position in the campaign plan (defines the canonical result order).
+    index: int
+    site: FaultSite
+    start_cycle: int
+    duration: int
+    workload: str
+
+    #: Transient outcomes aggregate under their own reporting bucket.
+    fault_model = FaultModel.TRANSIENT
+
+    @property
+    def fault(self) -> TransientFault:
+        return TransientFault(
+            site=self.site, start_cycle=self.start_cycle, duration=self.duration
+        )
+
+
+#: Either job flavour, as schedulers and the store see them.
+CampaignJob = Union[InjectionJob, TransientJob]
+
+
+@dataclass(frozen=True)
 class OutcomeRecord:
     """Wire format of one finished job, streamed back from workers."""
 
-    job: InjectionJob
+    job: CampaignJob
     failure_class: FailureClass
     detection_cycle: Optional[int]
     faulty_instructions: int
@@ -73,12 +101,26 @@ class CampaignPlan:
     unit_scope: str
     fault_models: Tuple[FaultModel, ...]
     sites: List[FaultSite]
-    jobs: List[InjectionJob]
+    jobs: List[CampaignJob]
     max_instructions: int
     #: Planner-local backend with the program prepared (not sent to workers).
     backend: ExecutionBackend
     #: Golden (fault-free) run of the planner-local backend.
     golden: RunResult
+    #: Rung spacing of the checkpointed transient runtime (``None`` selects
+    #: the adaptive ladder); only consulted for plans with transient jobs.
+    checkpoint_interval: Optional[int] = None
+    #: Early-convergence exit of the transient runtime.
+    early_exit: bool = True
+    #: Planner-local checkpoint runner whose ladder recording produced
+    #: ``golden`` (not sent to workers; the serial scheduler reuses it so a
+    #: transient campaign pays for exactly one golden execution).
+    runner: Optional[object] = None
+
+    @property
+    def transient(self) -> bool:
+        """True when the plan holds transient jobs (one job kind per plan)."""
+        return bool(self.jobs) and isinstance(self.jobs[0], TransientJob)
 
     @property
     def total_jobs(self) -> int:
@@ -104,3 +146,37 @@ def plan_jobs(
                 )
             )
     return jobs
+
+
+def plan_transient_jobs(
+    sites: Sequence[FaultSite],
+    horizon: int,
+    windows: int,
+    duration: int,
+    seed: int,
+    workload: str,
+) -> List[TransientJob]:
+    """Expand site x sampled start time into the canonical transient job order.
+
+    *windows* start times per site are drawn uniformly from ``[0, horizon)``
+    (the golden run's length in backend-native time units) with a seed-derived
+    generator, so the sample is a pure function of the plan inputs.  Jobs are
+    ordered by ascending start time — the canonical order doubles as the
+    execution order, which maximises checkpoint-ladder locality (consecutive
+    jobs fork from neighbouring rungs).
+    """
+    if horizon < 1:
+        raise ValueError(f"transient horizon must be >= 1, got {horizon}")
+    rng = random.Random(f"{seed}:transient")
+    draws = []
+    for site_index, site in enumerate(sites):
+        for window_index in range(windows):
+            draws.append((rng.randrange(horizon), site_index, window_index, site))
+    draws.sort(key=lambda draw: draw[:3])
+    return [
+        TransientJob(
+            index=index, site=site, start_cycle=start,
+            duration=duration, workload=workload,
+        )
+        for index, (start, _site_index, _window_index, site) in enumerate(draws)
+    ]

@@ -26,7 +26,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.faultinjection.comparison import compare_runs
 
 from repro.engine.backend import ExecutionBackend, RunResult, watchdog_budget
-from repro.engine.jobs import CampaignPlan, InjectionJob, OutcomeRecord
+from repro.engine.checkpoint import make_checkpoint_runner
+from repro.engine.jobs import CampaignJob, CampaignPlan, OutcomeRecord, TransientJob
 
 OutcomeCallback = Callable[[OutcomeRecord], None]
 
@@ -39,11 +40,22 @@ def execute_job(
     backend: ExecutionBackend,
     golden: RunResult,
     budget: int,
-    job: InjectionJob,
+    job: CampaignJob,
+    runner=None,
+    early_exit: bool = True,
 ) -> OutcomeRecord:
-    """Run one injection job on *backend* and classify it against *golden*."""
+    """Run one injection job on *backend* and classify it against *golden*.
+
+    Transient jobs go through *runner* (the checkpointed transient runtime of
+    :mod:`repro.engine.checkpoint`) when one is available — bit-identical to
+    the from-reset run, just faster; permanent jobs and runner-less transient
+    jobs execute from reset.
+    """
     start = time.perf_counter()
-    faulty = backend.run(max_instructions=budget, faults=[job.fault])
+    if runner is not None and isinstance(job, TransientJob):
+        faulty = runner.run_transient(job.fault, budget, early_exit=early_exit)
+    else:
+        faulty = backend.run(max_instructions=budget, faults=[job.fault])
     seconds = time.perf_counter() - start
     comparison = compare_runs(golden, faulty)
     return OutcomeRecord(
@@ -52,6 +64,20 @@ def execute_job(
         detection_cycle=comparison.detection_cycle,
         faulty_instructions=faulty.instructions,
         seconds=seconds,
+    )
+
+
+def plan_runner(plan: CampaignPlan, backend: ExecutionBackend):
+    """The checkpoint runner for *plan*'s transient jobs (``None`` for
+    permanent plans or backends without snapshot support).  Reuses the
+    planner's runner when the plan carries one — its ladder recording was
+    the golden run, so nothing re-executes."""
+    if not plan.transient:
+        return None
+    if plan.runner is not None:
+        return plan.runner
+    return make_checkpoint_runner(
+        backend, plan.max_instructions, plan.checkpoint_interval
     )
 
 
@@ -64,9 +90,13 @@ class SerialScheduler:
         self, plan: CampaignPlan, on_outcome: Optional[OutcomeCallback] = None
     ) -> List[OutcomeRecord]:
         budget = watchdog_budget(plan.golden.instructions)
+        runner = plan_runner(plan, plan.backend)
         records: List[OutcomeRecord] = []
         for job in plan.jobs:
-            record = execute_job(plan.backend, plan.golden, budget, job)
+            record = execute_job(
+                plan.backend, plan.golden, budget, job,
+                runner=runner, early_exit=plan.early_exit,
+            )
             records.append(record)
             if on_outcome is not None:
                 on_outcome(record)
@@ -82,10 +112,27 @@ class SerialScheduler:
 _WORKER: Dict[str, object] = {}
 
 
-def _init_worker(backend_factory, program, max_instructions: int) -> None:
+def _init_worker(
+    backend_factory,
+    program,
+    max_instructions: int,
+    transient: bool = False,
+    checkpoint_interval: Optional[int] = None,
+    early_exit: bool = True,
+) -> None:
     backend: ExecutionBackend = backend_factory()
     backend.prepare(program)
-    golden = backend.run(max_instructions=max_instructions)
+    runner = None
+    if transient:
+        runner = make_checkpoint_runner(
+            backend, max_instructions, checkpoint_interval
+        )
+    if runner is not None:
+        # The ladder recording *is* the worker's golden run (the recorded
+        # result is bit-identical to a plain run — the checkpoint contract).
+        golden = runner.golden()
+    else:
+        golden = backend.run(max_instructions=max_instructions)
     if not golden.normal_exit:
         raise RuntimeError(
             f"worker golden run of {program.name!r} did not exit normally "
@@ -94,18 +141,27 @@ def _init_worker(backend_factory, program, max_instructions: int) -> None:
     _WORKER["backend"] = backend
     _WORKER["golden"] = golden
     _WORKER["budget"] = watchdog_budget(golden.instructions)
+    _WORKER["runner"] = runner
+    _WORKER["early_exit"] = early_exit
 
 
-def _run_batch(jobs: Sequence[InjectionJob]) -> List[OutcomeRecord]:
+def _run_batch(jobs: Sequence[CampaignJob]) -> List[OutcomeRecord]:
     backend: ExecutionBackend = _WORKER["backend"]  # type: ignore[assignment]
     golden: RunResult = _WORKER["golden"]  # type: ignore[assignment]
     budget: int = _WORKER["budget"]  # type: ignore[assignment]
-    return [execute_job(backend, golden, budget, job) for job in jobs]
+    runner = _WORKER.get("runner")
+    early_exit: bool = _WORKER.get("early_exit", True)  # type: ignore[assignment]
+    return [
+        execute_job(
+            backend, golden, budget, job, runner=runner, early_exit=early_exit
+        )
+        for job in jobs
+    ]
 
 
 def chunk_jobs(
-    jobs: Sequence[InjectionJob], n_workers: int, chunk_size: Optional[int] = None
-) -> List[List[InjectionJob]]:
+    jobs: Sequence[CampaignJob], n_workers: int, chunk_size: Optional[int] = None
+) -> List[List[CampaignJob]]:
     """Split *jobs* into contiguous batches for the pool.
 
     The default batch size targets a few batches per worker — large enough to
@@ -140,7 +196,10 @@ class MultiprocessingScheduler:
         with multiprocessing.Pool(
             processes=min(self.n_workers, len(batches)),
             initializer=_init_worker,
-            initargs=(plan.backend_factory, plan.program, plan.max_instructions),
+            initargs=(
+                plan.backend_factory, plan.program, plan.max_instructions,
+                plan.transient, plan.checkpoint_interval, plan.early_exit,
+            ),
         ) as pool:
             for batch_records in pool.imap(_run_batch, batches):
                 for record in batch_records:

@@ -11,6 +11,12 @@ The campaign flow mirrors the paper's RTL methodology (Figure 2):
 4. classify each injection (no effect, wrong data, missing/extra activity,
    trap, hang) and aggregate the percentage of faults that propagate to
    failures — the ``Pf`` reported in Figures 3-7.
+
+Beyond the paper's permanent models, :func:`run_transient_campaign` opens
+SEU-style transient campaigns (storage-cell upsets inside a sampled time
+window) executed through the checkpointed runtime of
+:mod:`repro.engine.checkpoint` — the same flow, orders of magnitude more
+injections per CPU hour.
 """
 
 from repro.faultinjection.comparison import FailureClass, compare_runs
@@ -24,6 +30,10 @@ _LAZY_EXPORTS = {
     "CampaignConfig": "repro.faultinjection.campaign",
     "FaultInjectionCampaign": "repro.faultinjection.campaign",
     "FaultInjector": "repro.faultinjection.injector",
+    "run_iu_campaign": "repro.faultinjection.campaign",
+    "run_cmem_campaign": "repro.faultinjection.campaign",
+    "run_iss_campaign": "repro.faultinjection.campaign",
+    "run_transient_campaign": "repro.faultinjection.campaign",
 }
 
 
@@ -44,4 +54,8 @@ __all__ = [
     "FaultInjector",
     "CampaignResult",
     "InjectionOutcome",
+    "run_iu_campaign",
+    "run_cmem_campaign",
+    "run_iss_campaign",
+    "run_transient_campaign",
 ]

@@ -45,6 +45,7 @@ __all__ = [
     "run_iu_campaign",
     "run_cmem_campaign",
     "run_iss_campaign",
+    "run_transient_campaign",
 ]
 
 
@@ -188,6 +189,56 @@ def run_iss_campaign(
     return FaultInjectionCampaign(
         program, config, backend_factory=IssBackend
     ).run()
+
+
+def run_transient_campaign(
+    program: Program,
+    sample_size: Optional[int] = 200,
+    windows: int = 3,
+    duration: int = 1,
+    seed: int = 2015,
+    n_workers: int = 1,
+    backend: str = "rtl",
+    unit_scope: Optional[str] = None,
+    store_path: Optional[str] = None,
+    resume: bool = True,
+    checkpoint_interval: Optional[int] = None,
+    early_exit: bool = True,
+) -> CampaignResult:
+    """Convenience wrapper: SEU-style transient campaign over storage cells.
+
+    Samples *sample_size* storage sites from *unit_scope* (default: the IU on
+    the RTL backend, the architectural register file on the ISS) and
+    *windows* start times per site from the golden run, then executes every
+    injection through the checkpointed transient runtime
+    (:mod:`repro.engine.checkpoint`): fork-from-checkpoint instead of
+    run-from-reset, with the early-convergence exit splicing the golden tail
+    — bit-identical to from-reset execution, several times faster.
+    Returns the single :class:`CampaignResult` aggregated under
+    ``FaultModel.TRANSIENT``.  *store_path*/*resume* behave as in
+    :func:`run_iu_campaign`.
+    """
+    if backend not in ("rtl", "iss"):
+        raise ValueError(f"unknown backend {backend!r} (expected 'rtl' or 'iss')")
+    if unit_scope is None:
+        unit_scope = IU_SCOPE if backend == "rtl" else ARCH_REGFILE_UNIT
+    config = CampaignConfig(
+        unit_scope=unit_scope,
+        sample_size=sample_size,
+        seed=seed,
+        n_workers=n_workers,
+        store_path=store_path,
+        resume=resume,
+        transient_windows=windows,
+        transient_duration=duration,
+        checkpoint_interval=checkpoint_interval,
+        early_exit=early_exit,
+    )
+    factory = Leon3RtlBackend if backend == "rtl" else IssBackend
+    results = FaultInjectionCampaign(
+        program, config, backend_factory=factory
+    ).run()
+    return results[FaultModel.TRANSIENT]
 
 
 def run_cmem_campaign(

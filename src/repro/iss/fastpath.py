@@ -50,9 +50,16 @@ fault-free and under injected architectural faults.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from repro.isa.ccodes import evaluate_condition, icc_add, icc_logic, icc_sub
+from repro.isa.ccodes import (
+    ConditionCodes,
+    evaluate_condition,
+    icc_add,
+    icc_logic,
+    icc_sub,
+)
 from repro.isa.decoder import DecodeError, Instruction, decode_cached
 from repro.isa.encoding import to_s32, to_u32
 from repro.isa.instructions import INSTRUCTION_SET, InstructionCategory
@@ -636,6 +643,14 @@ class FastEmulator(Emulator):
         #: Decode-cache fills this emulator performed (one per distinct PC
         #: between invalidations) — observable for tests and diagnostics.
         self.decode_fills = 0
+        #: Opt-in for segment drivers (the checkpointed transient runtime):
+        #: when True, ``run`` skips folding the deferred per-mnemonic counts
+        #: into the returned trace and exposes them raw on :attr:`last_counts`
+        #: instead — the driver accumulates counts across many short slices
+        #: and folds once, so the returned ``trace`` is left empty on purpose.
+        self.collect_raw_counts = False
+        #: Raw per-mnemonic counts of the last run (see above).
+        self.last_counts: Dict[str, int] = {}
 
     # -- cache management ---------------------------------------------------------
 
@@ -660,6 +675,119 @@ class FastEmulator(Emulator):
         self._code_pages.setdefault(pc >> PAGE_SHIFT, set()).add(pc)
         self.decode_fills += 1
         return op
+
+    # -- checkpoint capture / restore ---------------------------------------------
+    #
+    # A capture is the complete mid-run architectural + timing state of a
+    # paused emulator (``run`` stops at any instruction boundary when its
+    # budget expires and continues bit-identically on the next call), with
+    # memory stored as dirty pages relative to *base_pages* — the page image
+    # right after ``load_program``.  The checkpointed transient runtime
+    # (repro.engine.checkpoint) records one capture per ladder rung during
+    # the golden run and restores them to fork injection runs mid-execution.
+
+    def capture_state(self, base_pages: Dict[int, bytes]) -> dict:
+        """Snapshot the paused emulator state (dirty pages vs *base_pages*)."""
+        registers = self.registers
+        timing = self.timing
+        return {
+            "globals": list(registers._globals),
+            "windows": list(registers._windows),
+            "cwp": registers.cwp,
+            "saved_depth": registers._saved_depth,
+            "icc": self.icc.as_bits(),
+            "y": self.y_register,
+            "pc": self.pc,
+            "npc": self.npc,
+            "annul": self._annul_next,
+            "cycles": timing.cycles,
+            "timing_instructions": timing.instructions,
+            "dcache_hits": timing.dcache_hits,
+            "dcache_misses": timing.dcache_misses,
+            "touched_lines": tuple(sorted(timing._touched_lines)),
+            "dirty_pages": {
+                index: bytes(page)
+                for index, page in self.memory._pages.items()
+                if base_pages.get(index) != page
+            },
+        }
+
+    def restore_state(
+        self,
+        payload: dict,
+        base_pages: Dict[int, bytes],
+        executed: int,
+        fault: Optional[ArchitecturalFault] = None,
+    ) -> None:
+        """Rewind the emulator to a captured payload and arm *fault*.
+
+        *executed* is the instruction count at the capture point; the fault
+        trigger counter resumes from it so a ``bit_flip`` fires at exactly
+        the same instruction index as in a from-reset run.  Cached decodes
+        survive the restore when their code page is byte-equal to the
+        restored image (the cache's invariant is "ops reflect the bytes in
+        memory", which the comparison re-establishes); pages that change are
+        invalidated, exactly like a store to them would.
+        """
+        registers = self.registers
+        registers._globals = list(payload["globals"])
+        registers._windows = list(payload["windows"])
+        registers.cwp = payload["cwp"]
+        registers._saved_depth = payload["saved_depth"]
+        self.icc = ConditionCodes.from_bits(payload["icc"])
+        self.y_register = payload["y"]
+        self.pc = payload["pc"]
+        self.npc = payload["npc"]
+        self._annul_next = payload["annul"]
+        timing = self.timing
+        timing.cycles = payload["cycles"]
+        timing.instructions = payload["timing_instructions"]
+        timing.dcache_hits = payload["dcache_hits"]
+        timing.dcache_misses = payload["dcache_misses"]
+        timing._touched_lines = set(payload["touched_lines"])
+        pages = {index: bytearray(page) for index, page in base_pages.items()}
+        for index, page in payload["dirty_pages"].items():
+            pages[index] = bytearray(page)
+        current = self.memory._pages
+        for page_index in list(self._code_pages):
+            if current.get(page_index) != pages.get(page_index):
+                _invalidate_code_page(self, page_index)
+        self.memory._pages = pages
+        self._fault = fault
+        self._fault_executed = executed
+        self._flip_done = False
+
+    def state_digest(self, base_pages: Dict[int, bytes]) -> str:
+        """Digest of the complete mid-run state (the convergence key).
+
+        Covers everything the remaining execution and its observables depend
+        on — registers, ICC, Y, PC/nPC, the pending-annul flag, the full
+        timing state (cycle/instruction tallies, cache counters, touched
+        lines) and the pages dirtied relative to *base_pages* — so two runs
+        with equal digests at equal instruction counts replay identical
+        futures.  Fault bookkeeping is deliberately excluded: the runtime
+        only compares digests after the fault effect is spent.
+        """
+        registers = self.registers
+        timing = self.timing
+        hasher = hashlib.sha256()
+        hasher.update(
+            repr(
+                (
+                    registers._globals, registers._windows, registers.cwp,
+                    registers._saved_depth, self.icc.as_bits(),
+                    self.y_register, self.pc, self.npc, self._annul_next,
+                    timing.cycles, timing.instructions, timing.dcache_hits,
+                    timing.dcache_misses, tuple(sorted(timing._touched_lines)),
+                )
+            ).encode()
+        )
+        for index in sorted(self.memory._pages):
+            page = self.memory._pages[index]
+            if base_pages.get(index) != page:
+                hasher.update(b"%d:" % index)
+                hasher.update(page)
+        return hasher.hexdigest()
 
     # -- main loop ----------------------------------------------------------------
 
@@ -749,7 +877,16 @@ class FastEmulator(Emulator):
         if executed >= max_instructions and not halted:
             trap = TrapEvent("watchdog", self.pc, "instruction budget exhausted")
 
-        if counts:
+        if self.collect_raw_counts:
+            self.last_counts = counts
+            if counts:
+                # Latency accounting must stay complete per slice — ``cycles``
+                # below is read from the timing model.  Only the trace fold is
+                # deferred to the driver.
+                by_mnemonic = INSTRUCTION_SET.by_mnemonic
+                for mnemonic, count in counts.items():
+                    timing.account_bulk(by_mnemonic(mnemonic), count)
+        elif counts:
             by_mnemonic = INSTRUCTION_SET.by_mnemonic
             for mnemonic, count in counts.items():
                 defn = by_mnemonic(mnemonic)

@@ -54,6 +54,7 @@ image), fault-free and under injected faults.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Dict, List, Optional, Set
 
 from repro.isa.ccodes import (
@@ -694,6 +695,33 @@ _NATIVE_ARRAYS = frozenset(
 )
 
 
+class _RtlRunState:
+    """Mutable per-run accumulators of the fast engine's segmented loop.
+
+    One logical run is one state object; :meth:`Leon3FastCore._run_segment`
+    can be called repeatedly on the same state to execute the run in
+    instruction-bounded segments (the checkpointed transient runtime pauses
+    at checkpoint boundaries this way).  ``cycles``/``executed`` accumulate
+    across segments; ``counts`` holds the deferred per-mnemonic trace tally.
+    """
+
+    __slots__ = (
+        "trace", "counts", "transaction_cycles", "stamped", "cycles",
+        "executed", "halted", "exit_code", "trap_kind",
+    )
+
+    def __init__(self, detailed: bool):
+        self.trace = ExecutionTrace(detailed=detailed)
+        self.counts: Dict[str, int] = {}
+        self.transaction_cycles: List[int] = []
+        self.stamped = 0
+        self.cycles = 0
+        self.executed = 0
+        self.halted = False
+        self.exit_code: Optional[int] = None
+        self.trap_kind: Optional[str] = None
+
+
 class Leon3FastCore:
     """Drop-in, bit-identical, faster replacement for :class:`Leon3Core`.
 
@@ -870,6 +898,147 @@ class Leon3FastCore:
         for cached_pc in self._code_pages.pop(page):
             cache.pop(cached_pc, None)
 
+    # -- checkpoint capture / restore ---------------------------------------------
+    #
+    # The capture payload is the complete mid-run machine + accumulator state
+    # of a fault-free run paused at an instruction boundary: everything
+    # `_run_segment` needs to continue bit-identically, with memory stored as
+    # dirty pages relative to the load-time snapshot.  The checkpointed
+    # transient runtime (repro.engine.checkpoint) records one payload per
+    # ladder rung during the golden run and restores them to fork injection
+    # runs from mid-execution.
+
+    def native_site(self, site) -> bool:
+        """True when a fault at *site* runs on the fast engine (storage cell)."""
+        return site.index is not None and site.net in _NATIVE_ARRAYS
+
+    def capture_state(self, state: _RtlRunState) -> dict:
+        """Snapshot the paused run (architectural state, caches, dirty
+        pages, cycle/instruction counters).  The prefix *observables*
+        (transaction stream, cycle stamps, trace tally) are deliberately not
+        captured — on a fault-free run they are a slice of the golden run's
+        streams, which the caller hands back to :meth:`restore_state`.  Only
+        valid between segments of a fault-free run with aggregate tracing."""
+        if state.trace.detailed:
+            raise ValueError("checkpoint capture requires aggregate tracing")
+        snapshot = self._mem_snapshot or {}
+        return {
+            "cells": list(self.cells),
+            "saved_depth": self._saved_depth,
+            "cwp": self.cwp,
+            "icc": self.icc.as_bits(),
+            "y": self.y,
+            "pc": self.pc,
+            "npc": self.npc,
+            "annul": self._annul_next,
+            "icache": (
+                list(self.icache.tags), list(self.icache.data),
+                list(self.icache.valid), self.icache.hits, self.icache.misses,
+            ),
+            "dcache": (
+                list(self.dcache.tags), list(self.dcache.data),
+                list(self.dcache.valid), self.dcache.hits, self.dcache.misses,
+            ),
+            "bus_reads": self.bus_reads,
+            "dirty_pages": {
+                index: bytes(page)
+                for index, page in self.memory._pages.items()
+                if snapshot.get(index) != page
+            },
+            "run": (state.cycles, state.executed),
+        }
+
+    def state_digest(self, state: _RtlRunState) -> str:
+        """Digest of the complete mid-run state (the convergence key).
+
+        Covers everything the remaining execution and its observables depend
+        on — register cells, window depth, ICC, Y, PC/nPC, annul flag, both
+        cache arrays with their hit/miss counters, the bus-read tally, the
+        cycle count and the pages dirtied relative to the load-time snapshot.
+        The accumulated transaction stream and trace tallies are past
+        observables, not state, and are excluded.
+        """
+        icache = self.icache
+        dcache = self.dcache
+        hasher = hashlib.sha256()
+        hasher.update(
+            repr(
+                (
+                    self.cells, self._saved_depth, self.cwp,
+                    self.icc.as_bits(), self.y, self.pc, self.npc,
+                    self._annul_next,
+                    (icache.tags, icache.data, icache.valid,
+                     icache.hits, icache.misses),
+                    (dcache.tags, dcache.data, dcache.valid,
+                     dcache.hits, dcache.misses),
+                    self.bus_reads, state.cycles,
+                )
+            ).encode()
+        )
+        snapshot = self._mem_snapshot or {}
+        for index in sorted(self.memory._pages):
+            page = self.memory._pages[index]
+            if snapshot.get(index) != page:
+                hasher.update(b"%d:" % index)
+                hasher.update(page)
+        return hasher.hexdigest()
+
+    def restore_state(
+        self,
+        payload: dict,
+        transactions,
+        transaction_cycles,
+        counts: Dict[str, int],
+    ) -> _RtlRunState:
+        """Rewind the core to a captured mid-run payload.
+
+        *transactions*/*transaction_cycles*/*counts* are the run's prefix
+        observables at the capture point — for a golden-ladder rung, slices
+        of the golden run's streams (see :meth:`capture_state`).  Returns
+        the primed :class:`_RtlRunState`; faults must be (re)injected
+        *after* the restore.  Specialisations survive the restore when their
+        code page is byte-equal to the restored image (same rule as
+        :meth:`reload`); pages that change are invalidated.
+        """
+        if self._program is None or self._mem_snapshot is None:
+            raise RuntimeError("no program loaded")
+        self.cells = list(payload["cells"])
+        self._saved_depth = payload["saved_depth"]
+        self.cwp = payload["cwp"]
+        self.icc = ConditionCodes.from_bits(payload["icc"])
+        self.y = payload["y"]
+        self.pc = payload["pc"]
+        self.npc = payload["npc"]
+        self._annul_next = payload["annul"]
+        for cache, saved in ((self.icache, payload["icache"]),
+                             (self.dcache, payload["dcache"])):
+            cache.tags = list(saved[0])
+            cache.data = list(saved[1])
+            cache.valid = list(saved[2])
+            cache.hits = saved[3]
+            cache.misses = saved[4]
+        self.bus_reads = payload["bus_reads"]
+        pages = {
+            index: bytearray(page) for index, page in self._mem_snapshot.items()
+        }
+        for index, page in payload["dirty_pages"].items():
+            pages[index] = bytearray(page)
+        current = self.memory._pages
+        for page_index in list(self._code_pages):
+            if current.get(page_index) != pages.get(page_index):
+                self._invalidate_code_page(page_index)
+        self.memory._pages = pages
+        self.transactions = list(transactions)
+        for fault_state in self._array_states.values():
+            fault_state.last_read = 0
+        state = _RtlRunState(self.detailed_trace)
+        state.cycles, state.executed = payload["run"]
+        self.cycle = state.cycles
+        state.counts = dict(counts)
+        state.transaction_cycles = list(transaction_cycles)
+        state.stamped = len(state.transaction_cycles)
+        return state
+
     # -- register file ------------------------------------------------------------
 
     def _rf_read(self, reg: int) -> int:
@@ -969,21 +1138,52 @@ class Leon3FastCore:
             ref.inject(active)
             return ref.run(max_instructions=max_instructions)
 
+        state = self.begin_run()
+        self.run_segment(state, max_instructions)
+        return self.finish_run(state)
+
+    def begin_run(self) -> _RtlRunState:
+        """Open a fresh segmented run (see :meth:`run_segment`).
+
+        The caller must have put the core in its canonical pre-run state
+        first (``clear_faults``/``reload`` — or ``restore_state`` for a
+        checkpoint fork, which primes and returns the state itself).
+        """
+        if self._program is None:
+            raise RuntimeError("no program loaded")
+        if self._fallback:
+            raise RuntimeError(
+                "segmented runs require storage-array faults only "
+                "(net faults delegate to the reference core)"
+            )
+        return _RtlRunState(self.detailed_trace)
+
+    def run_segment(self, state: _RtlRunState, budget: int) -> None:
+        """Execute up to *budget* more instructions of the run held by *state*.
+
+        Stops early when the program halts (exit/trap); a segment that
+        returns with ``state.halted`` still False simply paused at the
+        instruction boundary, and the run continues bit-identically when the
+        method is called again on the same state — this is the substrate of
+        the checkpointed transient runtime.
+        """
         detailed = self.detailed_trace
-        trace = ExecutionTrace(detailed=detailed)
+        trace = state.trace
         transactions = self.transactions
-        transaction_cycles: List[int] = []
-        stamped = 0
-        counts: Dict[str, int] = {}
+        transaction_cycles = state.transaction_cycles
+        stamped = state.stamped
+        counts = state.counts
         counts_get = counts.get
         op_cache_get = self._op_cache.get
         icache = self.icache
         dcache = self.dcache
-        cycles = 0
+        cycles = state.cycles
         executed = 0
         halted = False
         exit_code: Optional[int] = None
         trap_kind: Optional[str] = None
+        # At a segment boundary every raised miss has already been charged,
+        # so recomputing the watermark equals carrying it over.
         misses_before = icache.misses + dcache.misses
         # Fetch fast path: with no fault hooks on the instruction cache the
         # probe inlines to plain list indexing (invalidate()/reset() rebind
@@ -1002,7 +1202,7 @@ class Leon3FastCore:
         ic_wpl = icache.words_per_line
         ic_wpl_mask = ic_wpl - 1
 
-        while executed < max_instructions:
+        while executed < budget:
             self.cycle = cycles
             if self._annul_next:
                 # Annulled delay slot: skipped without executing, recording
@@ -1077,22 +1277,31 @@ class Leon3FastCore:
                 exit_code = outcome
                 break
 
-        if counts:
-            by_mnemonic = INSTRUCTION_SET.by_mnemonic
-            for mnemonic, count in counts.items():
-                trace.record_bulk(by_mnemonic(mnemonic), count)
+        state.cycles = cycles
+        state.executed += executed
+        state.stamped = stamped
+        state.halted = halted
+        state.exit_code = exit_code
+        state.trap_kind = trap_kind
 
+    def finish_run(self, state: _RtlRunState) -> RtlExecutionResult:
+        """Fold the deferred trace tally and package the finished run."""
+        trace = state.trace
+        if state.counts:
+            by_mnemonic = INSTRUCTION_SET.by_mnemonic
+            for mnemonic, count in state.counts.items():
+                trace.record_bulk(by_mnemonic(mnemonic), count)
         return RtlExecutionResult(
-            transactions=list(transactions),
-            transaction_cycles=transaction_cycles,
+            transactions=list(self.transactions),
+            transaction_cycles=list(state.transaction_cycles),
             trace=trace,
-            instructions=executed,
-            cycles=cycles,
-            halted=halted,
-            exit_code=exit_code,
-            trap_kind=trap_kind,
-            icache_misses=icache.misses,
-            dcache_misses=dcache.misses,
+            instructions=state.executed,
+            cycles=state.cycles,
+            halted=state.halted,
+            exit_code=state.exit_code,
+            trap_kind=state.trap_kind,
+            icache_misses=self.icache.misses,
+            dcache_misses=self.dcache.misses,
             faults=self._ref.netlist.active_faults(),
         )
 

@@ -21,11 +21,19 @@ from repro.rtl.sites import FaultSite
 
 
 class FaultModel(enum.Enum):
-    """Permanent fault models used by the RTL campaigns."""
+    """Fault models used by the campaigns.
+
+    The first three are the paper's permanent models.  :attr:`TRANSIENT` is
+    the reporting bucket of the SEU-style transient extension (a momentary
+    bit flip inside a cycle window); it is deliberately *not* part of
+    :data:`ALL_FAULT_MODELS`, so permanent campaigns are unaffected by its
+    existence.
+    """
 
     STUCK_AT_0 = "stuck_at_0"
     STUCK_AT_1 = "stuck_at_1"
     OPEN_LINE = "open_line"
+    TRANSIENT = "transient"
 
     @property
     def label(self) -> str:
@@ -34,6 +42,7 @@ class FaultModel(enum.Enum):
             FaultModel.STUCK_AT_0: "Stuck-at-0",
             FaultModel.STUCK_AT_1: "Stuck-at-1",
             FaultModel.OPEN_LINE: "Open line",
+            FaultModel.TRANSIENT: "Transient flip",
         }[self]
 
 
@@ -46,6 +55,13 @@ class PermanentFault:
 
     site: FaultSite
     model: FaultModel
+
+    def __post_init__(self):
+        if self.model is FaultModel.TRANSIENT:
+            raise ValueError(
+                "FaultModel.TRANSIENT is the reporting bucket of TransientFault; "
+                "build a TransientFault(site, start_cycle, duration) instead"
+            )
 
     def active_at(self, cycle: int) -> bool:
         """Permanent faults are present from power-on until the end of time."""
@@ -80,6 +96,10 @@ class TransientFault:
     same campaign machinery: within ``[start_cycle, end_cycle)`` the bit is
     flipped relative to the driven value; outside the window the fault has no
     effect.
+
+    Time units are backend-native: netlist cycles on the RTL model, executed
+    instruction indices on the ISS (whose functional half has no finer notion
+    of time) — see :attr:`repro.engine.backend.IssBackend.transient_unit`.
     """
 
     site: FaultSite
@@ -96,8 +116,8 @@ class TransientFault:
 
     @property
     def model(self) -> FaultModel:
-        """Transients behave as momentary inversions (reported as bit flips)."""
-        return FaultModel.OPEN_LINE  # closest reporting bucket for statistics
+        """Transients aggregate under their own reporting bucket."""
+        return FaultModel.TRANSIENT
 
     def active_at(self, cycle: int) -> bool:
         return self.start_cycle <= cycle < self.end_cycle

@@ -88,8 +88,15 @@ class SiteUniverse:
             return True
         return any(unit == f or unit.startswith(f + ".") for f in filters)
 
-    def _filtered_groups(self, units: Optional[Sequence[str]]) -> List[_SiteGroup]:
-        return [group for group in self._groups if self._matches(group.unit, units)]
+    def _filtered_groups(
+        self, units: Optional[Sequence[str]], storage_only: bool = False
+    ) -> List[_SiteGroup]:
+        return [
+            group
+            for group in self._groups
+            if self._matches(group.unit, units)
+            and (group.is_array or not storage_only)
+        ]
 
     # -- queries ---------------------------------------------------------------------
 
@@ -107,9 +114,16 @@ class SiteUniverse:
             counts[group.unit] = counts.get(group.unit, 0) + group.site_count
         return counts
 
-    def iter_sites(self, units: Optional[Sequence[str]] = None) -> Iterator[FaultSite]:
-        """Yield every site in the scope (use only for small scopes)."""
-        for group in self._filtered_groups(units):
+    def iter_sites(
+        self, units: Optional[Sequence[str]] = None, storage_only: bool = False
+    ) -> Iterator[FaultSite]:
+        """Yield every site in the scope (use only for small scopes).
+
+        ``storage_only`` restricts the scope to storage-array cells (register
+        file, cache memories) — the state elements SEU-style transient
+        campaigns target.
+        """
+        for group in self._filtered_groups(units, storage_only):
             yield from group.iter_sites()
 
     def sample(
@@ -117,13 +131,16 @@ class SiteUniverse:
         count: int,
         units: Optional[Sequence[str]] = None,
         seed: Optional[int] = None,
+        storage_only: bool = False,
     ) -> List[FaultSite]:
         """Draw *count* distinct sites uniformly at random from the scope.
 
         If *count* is greater than or equal to the number of available sites
         the full population is returned (in deterministic order).
+        ``storage_only`` restricts the population to storage-array cells (the
+        SEU target set used by transient campaigns).
         """
-        groups = self._filtered_groups(units)
+        groups = self._filtered_groups(units, storage_only)
         total = sum(group.site_count for group in groups)
         if total == 0:
             return []

@@ -5,6 +5,7 @@ Drives store-backed campaigns end-to-end without writing any Python:
 .. code-block:: console
 
     repro campaign run --workload rspeed --scope iu --sites 40
+    repro campaign run --workload rspeed --transient 4   # SEU campaign
     repro campaign resume --key 3f2a        # continue an interrupted campaign
     repro campaign status                   # progress of every stored campaign
     repro campaign report --key 3f2a        # Pf breakdown, zero simulation
@@ -28,7 +29,6 @@ from repro.faultinjection.comparison import FailureClass
 from repro.rtl.faults import ALL_FAULT_MODELS, FaultModel
 from repro.workloads import all_workloads, build_program
 
-from repro.store.keys import backend_identity, campaign_key
 from repro.store.store import CampaignInfo, CampaignStore, StoreError
 
 DEFAULT_STORE = os.environ.get("REPRO_STORE", "campaigns.sqlite")
@@ -53,10 +53,18 @@ def _parse_models(spec: Optional[str]) -> List[FaultModel]:
     models = []
     for token in spec.split(","):
         token = token.strip()
+        if token == FaultModel.TRANSIENT.value:
+            # The enum member is the *reporting* bucket of transient jobs,
+            # not an injectable permanent model; fail here with the right
+            # spelling instead of deep inside the first injection run.
+            raise CliError(
+                "'transient' is not an injectable fault model; run an SEU "
+                "campaign with --transient N (start times per storage site)"
+            )
         try:
             models.append(FaultModel(token))
         except ValueError:
-            valid = ", ".join(model.value for model in FaultModel)
+            valid = ", ".join(model.value for model in ALL_FAULT_MODELS)
             raise CliError(f"unknown fault model {token!r} (expected: {valid})")
     return models
 
@@ -128,16 +136,7 @@ def _progress_printer(stream=sys.stderr):
 
 def _key_for(engine: CampaignEngine, config: CampaignConfig, program) -> str:
     """The content key this engine's campaign will be stored under."""
-    return campaign_key(
-        program=program,
-        sites=engine.select_sites(),
-        fault_models=config.fault_models,
-        seed=config.seed,
-        backend_id=backend_identity(engine.backend.name, engine.backend_factory),
-        unit_scope=config.unit_scope,
-        sample_size=config.sample_size,
-        max_instructions=config.max_instructions,
-    )
+    return engine.store_key()
 
 
 def _run_engine(
@@ -188,6 +187,10 @@ def cmd_campaign_run(args) -> int:
         n_workers=args.workers,
         chunk_size=args.chunk_size,
         resume=not args.no_resume,
+        transient_windows=args.transient,
+        transient_duration=args.duration,
+        checkpoint_interval=args.checkpoint_interval,
+        early_exit=not args.no_early_exit,
     )
     with CampaignStore(args.store) as store:
         return _run_engine(store, config, program, args.backend, args.quiet)
@@ -201,14 +204,23 @@ def cmd_campaign_resume(args) -> int:
         if backend not in BACKEND_FACTORIES:
             raise CliError(f"campaign {info.key[:12]} used unknown backend {backend!r}")
         program = _build_workload(config_json["workload"])
+        transient = config_json.get("transient") or {}
+        if transient:
+            # Transient planning derives its single result bucket itself;
+            # the stored ["transient"] list only describes the outcomes.
+            fault_models = list(ALL_FAULT_MODELS)
+        else:
+            fault_models = [FaultModel(v) for v in config_json["fault_models"]]
         config = CampaignConfig(
             unit_scope=config_json["unit_scope"],
             sample_size=config_json["sample_size"],
-            fault_models=[FaultModel(v) for v in config_json["fault_models"]],
+            fault_models=fault_models,
             seed=config_json["seed"],
             max_instructions=config_json["max_instructions"],
             n_workers=args.workers,
             resume=True,
+            transient_windows=transient.get("windows"),
+            transient_duration=transient.get("duration", 1),
         )
         # The campaign is only resumable if the registry still builds the
         # exact program (and site sample) the key was derived from.
@@ -338,6 +350,18 @@ def build_parser() -> argparse.ArgumentParser:
                      help="fault sites to sample, or 'all' (default: 60)")
     run.add_argument("--models", default="all",
                      help="comma-separated fault models (default: all three)")
+    run.add_argument("--transient", type=int, default=None, metavar="N",
+                     help="run an SEU-style transient campaign instead: N "
+                          "start times sampled per storage site, executed "
+                          "through the checkpointed runtime")
+    run.add_argument("--duration", type=int, default=1,
+                     help="transient window length in backend time units "
+                          "(default: 1)")
+    run.add_argument("--checkpoint-interval", type=int, default=None,
+                     help="golden-ladder rung spacing in instructions "
+                          "(default: adaptive)")
+    run.add_argument("--no-early-exit", action="store_true",
+                     help="disable the early-convergence exit (debugging)")
     run.add_argument("--seed", type=int, default=2015)
     run.add_argument("--workers", type=int, default=1,
                      help="worker processes (default: 1, serial)")

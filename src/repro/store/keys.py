@@ -65,6 +65,24 @@ from repro.rtl.sites import FaultSite
 #:   by ``benchmarks/bench_rtl_throughput.py`` before it reports any number.
 #:   Like the ISS interpreter choice, the cycle-engine choice is an execution
 #:   strategy, not a result input.
+#: Also deliberately **not** bumped for the checkpointed transient runtime PR:
+#:
+#: * Transient campaigns are a *new* key population: their keys carry an
+#:   additional ``"transient"`` payload section (window sample, duration,
+#:   time unit) that no pre-existing key ever contained, so they can never
+#:   alias a stored permanent campaign.  Permanent campaign payloads are
+#:   byte-for-byte unchanged — the section is only added when transient jobs
+#:   are planned — so every previously stored campaign keeps serving cache
+#:   hits and resuming under its existing key.
+#: * The checkpointed execution itself (golden snapshot ladder,
+#:   fork-from-checkpoint, early-convergence exit) is bit-identical to the
+#:   from-reset execution of the same fault — enforced by
+#:   ``tests/test_checkpoint.py`` across the workload registry on both
+#:   backends and re-verified by ``benchmarks/bench_transient_throughput.py``
+#:   before it reports any number.  Like the fast interpreters, it is an
+#:   execution strategy: ``checkpoint_interval`` and ``early_exit`` are
+#:   therefore excluded from the key.
+#:
 #: * The ``StorageArray._last_read`` reset fix (see
 #:   :meth:`repro.rtl.netlist.StorageArray.reset`) closes a cross-run leak
 #:   through the open-line "previous value": before the fix, an open-line
@@ -105,6 +123,11 @@ def site_token(site: FaultSite) -> str:
     """Canonical string form of one fault site."""
     location = site.net if site.index is None else f"{site.net}[{site.index}]"
     return f"{location}.bit{site.bit}@{site.unit}"
+
+
+def transient_token(job) -> str:
+    """Canonical string form of one transient job (site + window)."""
+    return f"{site_token(job.site)}@{job.start_cycle}+{job.duration}"
 
 
 def _render_bound(value) -> str:
@@ -187,22 +210,32 @@ def campaign_key(
     unit_scope: str,
     sample_size,
     max_instructions: int,
+    transient: dict = None,
 ) -> str:
-    """The content address of one campaign (64 hex chars)."""
-    return _digest(
-        {
-            "key_version": KEY_VERSION,
-            "program": program_digest(program),
-            "sites": [site_token(site) for site in sites],
-            "fault_models": [model.value for model in fault_models],
-            "seed": seed,
-            "backend": backend_id,
-            "unit_scope": unit_scope,
-            "sample_size": sample_size,
-            "max_instructions": max_instructions,
-            "watchdog": [WATCHDOG_FACTOR, WATCHDOG_SLACK],
-        }
-    )
+    """The content address of one campaign (64 hex chars).
+
+    *transient* extends the payload for transient campaigns (the sampled
+    window list plus window parameters — everything that identifies the
+    planned transient fault population).  Permanent campaigns pass ``None``
+    and their payload stays byte-identical to every earlier KEY_VERSION-1
+    key, which is why adding the section needs no version bump (see the
+    :data:`KEY_VERSION` rationale).
+    """
+    payload = {
+        "key_version": KEY_VERSION,
+        "program": program_digest(program),
+        "sites": [site_token(site) for site in sites],
+        "fault_models": [model.value for model in fault_models],
+        "seed": seed,
+        "backend": backend_id,
+        "unit_scope": unit_scope,
+        "sample_size": sample_size,
+        "max_instructions": max_instructions,
+        "watchdog": [WATCHDOG_FACTOR, WATCHDOG_SLACK],
+    }
+    if transient is not None:
+        payload["transient"] = transient
+    return _digest(payload)
 
 
 def memo_key(kind: str, payload: dict) -> str:

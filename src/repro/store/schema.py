@@ -23,7 +23,12 @@ from __future__ import annotations
 
 #: Bump on any incompatible schema change; the store refuses to open newer
 #: databases and transparently creates missing tables on older ones.
-SCHEMA_VERSION = 1
+#:
+#: Version 2 adds the nullable ``start_cycle``/``duration`` columns to
+#: ``outcomes`` (transient-job identity); version-1 databases are migrated in
+#: place with ``ALTER TABLE`` — existing permanent-fault rows keep NULLs and
+#: reconstruct exactly as before.
+SCHEMA_VERSION = 2
 
 SCHEMA_STATEMENTS = (
     """
@@ -62,6 +67,8 @@ SCHEMA_STATEMENTS = (
         detection_cycle     INTEGER,
         faulty_instructions INTEGER NOT NULL,
         seconds             REAL NOT NULL DEFAULT 0.0,
+        start_cycle         INTEGER,
+        duration            INTEGER,
         PRIMARY KEY (campaign_key, job_index)
     )
     """,
@@ -87,7 +94,7 @@ SCHEMA_STATEMENTS = (
 
 
 def apply_schema(connection) -> None:
-    """Create missing tables and stamp/verify the schema version."""
+    """Create missing tables, run migrations, stamp/verify the version."""
     (version,) = connection.execute("PRAGMA user_version").fetchone()
     if version > SCHEMA_VERSION:
         raise RuntimeError(
@@ -97,4 +104,16 @@ def apply_schema(connection) -> None:
     with connection:
         for statement in SCHEMA_STATEMENTS:
             connection.execute(statement)
+        if version == 1:
+            # v1 -> v2: transient-job identity columns (NULL for the
+            # permanent-fault rows every v1 database holds).
+            existing = {
+                row[1]
+                for row in connection.execute("PRAGMA table_info(outcomes)")
+            }
+            for column in ("start_cycle", "duration"):
+                if column not in existing:
+                    connection.execute(
+                        f"ALTER TABLE outcomes ADD COLUMN {column} INTEGER"
+                    )
         connection.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")

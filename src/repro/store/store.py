@@ -29,13 +29,13 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.engine.jobs import InjectionJob, OutcomeRecord
+from repro.engine.jobs import InjectionJob, OutcomeRecord, TransientJob
 from repro.faultinjection.comparison import FailureClass
 from repro.isa.assembler import Program
 from repro.rtl.faults import FaultModel
 from repro.rtl.sites import FaultSite
 
-from repro.store.keys import backend_identity, campaign_key
+from repro.store.keys import backend_identity, campaign_key, transient_token
 from repro.store.schema import apply_schema
 
 #: Store-wide counters maintained by the engine integration.
@@ -120,9 +120,21 @@ class CampaignStore:
         backend_name: str,
         backend_factory: Callable[[], object],
         total_jobs: int,
+        transient_jobs: Optional[Sequence[TransientJob]] = None,
+        transient_config: Optional[dict] = None,
     ) -> "CampaignSession":
-        """Open (or create) the campaign row for this exact plan content."""
+        """Open (or create) the campaign row for this exact plan content.
+
+        Transient campaigns pass their planned job list and window
+        parameters; both extend the content key (so a transient campaign can
+        never alias a permanent one) and the stored configuration (so the CLI
+        can rebuild the plan for ``repro campaign resume``).
+        """
         backend_id = backend_identity(backend_name, backend_factory)
+        transient = None
+        if transient_jobs is not None:
+            transient = dict(transient_config or {})
+            transient["jobs"] = [transient_token(job) for job in transient_jobs]
         key = campaign_key(
             program=program,
             sites=sites,
@@ -132,6 +144,7 @@ class CampaignStore:
             unit_scope=unit_scope,
             sample_size=sample_size,
             max_instructions=max_instructions,
+            transient=transient,
         )
         config = {
             "workload": program.name,
@@ -142,6 +155,8 @@ class CampaignStore:
             "fault_models": [model.value for model in fault_models],
             "backend": backend_name,
         }
+        if transient_config is not None:
+            config["transient"] = dict(transient_config)
         now = _utcnow()
         with self._conn:
             self._conn.execute(
@@ -266,12 +281,21 @@ class CampaignStore:
                 unit=outcome["unit"],
                 index=outcome["cell_index"],
             )
-            job = InjectionJob(
-                index=outcome["job_index"],
-                site=site,
-                fault_model=FaultModel(outcome["fault_model"]),
-                workload=workload,
-            )
+            if outcome["start_cycle"] is not None:
+                job: InjectionJob = TransientJob(
+                    index=outcome["job_index"],
+                    site=site,
+                    start_cycle=outcome["start_cycle"],
+                    duration=outcome["duration"],
+                    workload=workload,
+                )
+            else:
+                job = InjectionJob(
+                    index=outcome["job_index"],
+                    site=site,
+                    fault_model=FaultModel(outcome["fault_model"]),
+                    workload=workload,
+                )
             records.append(
                 OutcomeRecord(
                     job=job,
@@ -402,6 +426,8 @@ class CampaignSession:
                 record.detection_cycle,
                 record.faulty_instructions,
                 record.seconds,
+                getattr(record.job, "start_cycle", None),
+                getattr(record.job, "duration", None),
             )
             for record in records
         ]
@@ -411,8 +437,8 @@ class CampaignSession:
                 INSERT INTO outcomes (
                     campaign_key, job_index, fault_model, net, bit, unit,
                     cell_index, failure_class, detection_cycle,
-                    faulty_instructions, seconds
-                ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
+                    faulty_instructions, seconds, start_cycle, duration
+                ) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)
                 ON CONFLICT (campaign_key, job_index) DO NOTHING
                 """,
                 rows,

@@ -1,5 +1,6 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -11,7 +12,12 @@ from repro.isa.encoding import to_s32, to_u32
 from repro.isa.instructions import INSTRUCTION_SET
 from repro.iss.memory import Memory
 from repro.iss.trace import ExecutionTrace
-from repro.rtl.faults import FaultModel, PermanentFault
+from repro.rtl.faults import (
+    ALL_FAULT_MODELS,
+    FaultModel,
+    PermanentFault,
+    TransientFault,
+)
 from repro.rtl.netlist import Netlist
 from repro.rtl.sites import FaultSite
 
@@ -133,13 +139,18 @@ class TestFaultModelProperties:
         assert (faulted >> bit) & 1 == (previous >> bit) & 1
 
     @given(value=words32, previous=words32, bit=bits32,
-           model=st.sampled_from(list(FaultModel)))
+           model=st.sampled_from(list(ALL_FAULT_MODELS)))
     def test_fault_application_is_idempotent(self, value, previous, bit, model):
         site = FaultSite("net", bit, "iu")
         fault = PermanentFault(site, model)
         once = fault.apply(value, previous)
         twice = fault.apply(once, previous)
         assert once == twice
+
+    @given(bit=bits32)
+    def test_permanent_fault_rejects_the_transient_bucket(self, bit):
+        with pytest.raises(ValueError):
+            PermanentFault(FaultSite("net", bit, "iu"), FaultModel.TRANSIENT)
 
     @given(value=words32, bit=st.integers(min_value=0, max_value=15))
     def test_netlist_drive_respects_width_and_fault(self, value, bit):
@@ -149,6 +160,46 @@ class TestFaultModelProperties:
         observed = netlist.drive("n", value)
         assert observed < (1 << 16)
         assert (observed >> bit) & 1 == 1
+
+
+class TestTransientFaultProperties:
+    windows = st.tuples(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=1, max_value=10**4),
+    )
+
+    @given(window=windows, offset=st.integers(min_value=-(10**6), max_value=10**7))
+    def test_active_exactly_inside_half_open_window(self, window, offset):
+        start, duration = window
+        fault = TransientFault(FaultSite("n", 0, "iu"), start, duration)
+        cycle = start + offset
+        assert fault.active_at(cycle) == (start <= cycle < start + duration)
+
+    @given(value=words32, previous=words32, bit=bits32, window=windows)
+    def test_apply_is_an_involution_on_its_bit(self, value, previous, bit, window):
+        fault = TransientFault(FaultSite("n", bit, "iu"), *window)
+        once = fault.apply(value, previous)
+        assert once ^ value == 1 << bit
+        assert fault.apply(once, previous) == value
+
+    @given(value=words32, previous=words32, bit=bits32, window=windows)
+    def test_apply_ignores_the_previous_value(self, value, previous, bit, window):
+        """Transients are momentary inversions, not charge retention: the
+        open-line 'previous value' input must be irrelevant."""
+        fault = TransientFault(FaultSite("n", bit, "iu"), *window)
+        assert fault.apply(value, previous) == fault.apply(value, ~previous)
+
+    @given(start=st.integers(min_value=-(10**6), max_value=-1),
+           duration=st.integers(min_value=1, max_value=100))
+    def test_negative_start_rejected(self, start, duration):
+        with pytest.raises(ValueError):
+            TransientFault(FaultSite("n", 0, "iu"), start, duration)
+
+    @given(start=st.integers(min_value=0, max_value=10**6),
+           duration=st.integers(min_value=-100, max_value=0))
+    def test_non_positive_duration_rejected(self, start, duration):
+        with pytest.raises(ValueError):
+            TransientFault(FaultSite("n", 0, "iu"), start, duration)
 
 
 class TestDiversityProperties:

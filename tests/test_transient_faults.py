@@ -12,7 +12,12 @@ import pytest
 
 from repro.isa.assembler import assemble
 from repro.leon3.core import Leon3Core, run_program_rtl
-from repro.rtl.faults import FaultModel, PermanentFault, TransientFault
+from repro.rtl.faults import (
+    ALL_FAULT_MODELS,
+    FaultModel,
+    PermanentFault,
+    TransientFault,
+)
 from repro.rtl.netlist import Netlist
 
 PROGRAM = """
@@ -41,6 +46,57 @@ class TestTransientFaultModel:
         assert fault.active_at(10)
         assert fault.active_at(14)
         assert not fault.active_at(15)
+
+    def test_window_boundaries_are_half_open(self):
+        """The contract at the edges: active at start_cycle and end_cycle-1,
+        inactive at end_cycle (and everywhere outside)."""
+        from repro.rtl.sites import FaultSite
+
+        fault = TransientFault(FaultSite("n", 0, "iu"), start_cycle=7, duration=3)
+        assert fault.end_cycle == 10
+        assert not fault.active_at(fault.start_cycle - 1)
+        assert fault.active_at(fault.start_cycle)
+        assert fault.active_at(fault.end_cycle - 1)
+        assert not fault.active_at(fault.end_cycle)
+        assert not fault.active_at(fault.end_cycle + 10**9)
+
+    def test_single_cycle_window(self):
+        from repro.rtl.sites import FaultSite
+
+        fault = TransientFault(FaultSite("n", 5, "iu"), start_cycle=42)
+        assert fault.duration == 1
+        assert fault.end_cycle == 43
+        assert [cycle for cycle in range(40, 46) if fault.active_at(cycle)] == [42]
+
+    def test_window_at_cycle_zero(self):
+        from repro.rtl.sites import FaultSite
+
+        fault = TransientFault(FaultSite("n", 0, "iu"), start_cycle=0, duration=1)
+        assert fault.active_at(0)
+        assert not fault.active_at(1)
+
+    def test_apply_flips_only_its_bit_whatever_the_previous_value(self):
+        from repro.rtl.sites import FaultSite
+
+        fault = TransientFault(FaultSite("n", 7, "iu"), start_cycle=0)
+        for value in (0, 0xFFFFFFFF, 0x1234_5678):
+            for previous in (0, 0xFFFFFFFF):
+                observed = fault.apply(value, previous)
+                assert observed == value ^ (1 << 7)
+
+    def test_reports_under_the_transient_bucket(self):
+        from repro.rtl.sites import FaultSite
+
+        fault = TransientFault(FaultSite("n", 0, "iu"), start_cycle=0)
+        assert fault.model is FaultModel.TRANSIENT
+        assert fault.model.label == "Transient flip"
+        assert FaultModel.TRANSIENT not in ALL_FAULT_MODELS
+
+    def test_permanent_fault_cannot_use_the_transient_bucket(self):
+        from repro.rtl.sites import FaultSite
+
+        with pytest.raises(ValueError):
+            PermanentFault(FaultSite("n", 0, "iu"), FaultModel.TRANSIENT)
 
     def test_apply_flips_the_bit(self):
         from repro.rtl.sites import FaultSite
@@ -88,6 +144,48 @@ class TestTransientOnNetlist:
         netlist.cycle = 100
         netlist.reset_state()
         assert netlist.cycle == 0
+
+
+class TestTransientOnBackends:
+    def test_fast_core_transient_matches_reference_core(self):
+        """A storage-cell transient runs natively on the fast engine and must
+        stay bit-identical to the reference netlist walk."""
+        from repro.leon3.fastcore import verify_rtl_bit_identity
+        from repro.rtl.sites import FaultSite
+
+        program = assemble(PROGRAM, name="transient")
+        golden = run_program_rtl(program)
+        fault = TransientFault(
+            FaultSite("rf.cells", 2, "iu.regfile", index=17),
+            start_cycle=golden.cycles // 3,
+            duration=8,
+        )
+        verify_rtl_bit_identity(program, faults=[fault])
+
+    def test_iss_transient_is_a_flip_at_the_instruction_index(self):
+        """On the ISS a transient upsets its register cell once, when the
+        executed-instruction count reaches start_cycle — identical to the
+        equivalent architectural bit_flip."""
+        from repro.engine.backend import IssBackend
+        from repro.iss.faults import ArchitecturalFault
+        from repro.rtl.sites import FaultSite
+
+        program = assemble(PROGRAM, name="transient")
+        backend = IssBackend()
+        backend.prepare(program)
+        golden = backend.run(max_instructions=10_000)
+        # %o0 is the live loop counter: flipping bit 1 right before the first
+        # `add %o0, 5, %o1` visibly corrupts the stored values.
+        site = FaultSite("regfile", 1, "arch.regfile", index=8)
+        transient = TransientFault(site, start_cycle=3, duration=1)
+        explicit = ArchitecturalFault(
+            register=8, bit=1, model="bit_flip", trigger_index=3
+        )
+        via_transient = backend.run(max_instructions=10_000, faults=[transient])
+        via_flip = backend.run(max_instructions=10_000, faults=[explicit])
+        assert via_transient.transactions == via_flip.transactions
+        assert via_transient.trap_kind == via_flip.trap_kind
+        assert via_transient.transactions != golden.transactions
 
 
 class TestTransientOnCore:
