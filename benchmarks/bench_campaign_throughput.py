@@ -7,28 +7,32 @@ each, plus the end-to-end speed-up.  The two runs are verified to produce
 identical ``Pf`` breakdowns before any number is reported (a wrong-but-fast
 scheduler is worthless).
 
-Writes/updates a ``BENCH_campaign_throughput.json`` baseline next to the repo
-root so CI and future optimisation PRs can track the trend:
+Appends a dated record to the ``BENCH_campaign_throughput.json`` history
+next to the repo root so CI and future optimisation PRs can track the trend:
 
     python benchmarks/bench_campaign_throughput.py --sites 40 --workers 4
     python benchmarks/bench_campaign_throughput.py --no-write   # measure only
+    python benchmarks/bench_campaign_throughput.py --check      # CI gate
 
 Note that the parallel figure only improves on the serial one when the
 machine actually has spare cores; the baseline records ``cpu_count`` so
-numbers from different machines are not compared blindly.
+numbers from different machines are not compared blindly, and ``--check``
+skips the speedup-ratio comparison when the committed record carries a
+``null`` speedup (recorded on a single-CPU machine).
 """
 
 from __future__ import annotations
 
 import argparse
-import json
 import os
-import platform
 import sys
 import time
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from bench_utils import run_gated_benchmark, stamp  # noqa: E402
 
 from repro.engine import CampaignConfig, CampaignEngine  # noqa: E402
 from repro.rtl.faults import ALL_FAULT_MODELS  # noqa: E402
@@ -69,6 +73,11 @@ def main() -> int:
                              "there)")
     parser.add_argument("--no-write", action="store_true",
                         help="measure and print only; do not update the baseline file")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on a >20%% serial-vs-parallel speedup "
+                             "regression vs the latest committed record "
+                             "(skipped when the committed speedup is null; "
+                             "scheduler determinism is always verified)")
     args = parser.parse_args()
 
     program = build_program(args.workload)
@@ -131,13 +140,11 @@ def main() -> int:
         "fault_models": len(ALL_FAULT_MODELS),
         "injections": injections,
         "seed": args.seed,
-        "cpu_count": os.cpu_count(),
         # False on single-CPU machines: the parallel leg is skipped there
         # (measuring pool overhead would read as a scheduler regression), so
         # "parallel" and "speedup" are null in that case.
         "parallel_meaningful": parallel_meaningful,
-        "python": platform.python_version(),
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        **stamp(),
         "serial": {
             "seconds": round(serial_s, 3),
             "injections_per_second": round(serial_rate, 3),
@@ -145,12 +152,12 @@ def main() -> int:
         "parallel": parallel_entry,
         "speedup": speedup,
     }
-    if args.no_write:
-        print(json.dumps(baseline, indent=2))
-    else:
-        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
-        print(f"  baseline written   : {BASELINE_PATH}")
-    return 0
+    return run_gated_benchmark(
+        BASELINE_PATH, baseline,
+        config_fields=("workload", "unit_scope", "sample_size", "seed"),
+        check=args.check, no_write=args.no_write,
+        regression_message="parallel-scheduler throughput regressed",
+    )
 
 
 if __name__ == "__main__":

@@ -8,31 +8,31 @@ statistics, transaction stream, trap kind, final architectural state — a
 wrong-but-fast interpreter is worthless).  It then reports per-workload and
 aggregate instructions/second and the fast-vs-reference speedup.
 
-Writes/updates a ``BENCH_iss_throughput.json`` baseline next to the repo
-root so CI and future optimisation PRs can track the trend:
+Appends a dated record to the ``BENCH_iss_throughput.json`` history next to
+the repo root so CI and future optimisation PRs can track the trend:
 
     python benchmarks/bench_iss_throughput.py                  # full-size
     python benchmarks/bench_iss_throughput.py --no-write       # measure only
     python benchmarks/bench_iss_throughput.py --check          # CI smoke gate
 
-``--check`` compares the measured aggregate *speedup* against the committed
-baseline and fails on a >20% regression.  The speedup ratio (fast ips /
-reference ips on the same machine, same run) is the machine-portable metric;
-absolute instructions/second are recorded for context but never compared
-across machines.
+``--check`` compares the measured aggregate *speedup* against the latest
+committed record and fails on a >20% regression.  The speedup ratio (fast
+ips / reference ips on the same machine, same run) is the machine-portable
+metric; absolute instructions/second are recorded for context but never
+compared across machines.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import platform
 import sys
 import time
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from bench_utils import run_gated_benchmark, stamp  # noqa: E402
 
 from repro.iss.emulator import Emulator  # noqa: E402
 from repro.iss.fastpath import FastEmulator, assert_results_identical  # noqa: E402
@@ -43,9 +43,6 @@ BASELINE_PATH = Path(__file__).resolve().parents[1] / "BENCH_iss_throughput.json
 
 #: The full-size workloads of the paper's Table 1 characterisation.
 DEFAULT_WORKLOADS = ("puwmod", "canrdr", "ttsprk", "rspeed", "membench", "intbench")
-
-#: Tolerated relative speedup regression against the committed baseline.
-REGRESSION_TOLERANCE = 0.20
 
 
 def timed_run(emulator_cls, program, max_instructions, **kwargs):
@@ -129,9 +126,7 @@ def main() -> int:
         "workloads": list(args.workloads),
         "full_size": full_size,
         "max_instructions": args.max_instructions,
-        "cpu_count": os.cpu_count(),
-        "python": platform.python_version(),
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        **stamp(),
         "per_workload": rows,
         "aggregate": {
             "instructions": total_instructions,
@@ -142,36 +137,14 @@ def main() -> int:
             "speedup": round(aggregate_speedup, 2),
         },
     }
-
-    if args.check:
-        if not BASELINE_PATH.exists():
-            print(f"ERROR: --check requires a committed baseline at {BASELINE_PATH}")
-            return 1
-        committed = json.loads(BASELINE_PATH.read_text())
-        # Speedups are only comparable for the same measurement configuration
-        # (short rtl-scale runs are dominated by decode-cache fill overhead).
-        for field in ("workloads", "full_size", "max_instructions"):
-            if baseline[field] != committed.get(field):
-                print(f"ERROR: --check configuration mismatch on {field!r}: "
-                      f"measured {baseline[field]!r} vs baseline "
-                      f"{committed.get(field)!r}; re-run with the baseline's "
-                      f"configuration (or re-record the baseline)")
-                return 1
-        floor = committed["aggregate"]["speedup"] * (1.0 - REGRESSION_TOLERANCE)
-        print(f"  check: measured speedup {aggregate_speedup:.2f}x vs baseline "
-              f"{committed['aggregate']['speedup']:.2f}x (floor {floor:.2f}x)")
-        if aggregate_speedup < floor:
-            print("ERROR: fast-path throughput regressed by more than "
-                  f"{REGRESSION_TOLERANCE:.0%} against the committed baseline")
-            return 1
-        print("  check: ok")
-
-    if args.no_write:
-        print(json.dumps(baseline, indent=2))
-    else:
-        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
-        print(f"  baseline written   : {BASELINE_PATH}")
-    return 0
+    # Speedups are only comparable for the same measurement configuration
+    # (short rtl-scale runs are dominated by decode-cache fill overhead).
+    return run_gated_benchmark(
+        BASELINE_PATH, baseline,
+        config_fields=("workloads", "full_size", "max_instructions"),
+        check=args.check, no_write=args.no_write,
+        regression_message="fast-path throughput regressed",
+    )
 
 
 if __name__ == "__main__":

@@ -12,16 +12,16 @@ universe, so the series includes the occasional net site that the fast
 engine delegates to the reference core — the reported speedup is the honest
 campaign-level figure, not a storage-array best case.
 
-Writes/updates a ``BENCH_rtl_throughput.json`` baseline next to the repo
-root so CI and future optimisation PRs can track the trend:
+Appends a dated record to the ``BENCH_rtl_throughput.json`` history next to
+the repo root so CI and future optimisation PRs can track the trend:
 
     python benchmarks/bench_rtl_throughput.py                  # record
     python benchmarks/bench_rtl_throughput.py --no-write       # measure only
     python benchmarks/bench_rtl_throughput.py --check          # CI smoke gate
 
-``--check`` compares the measured aggregate *speedup* against the committed
-baseline, failing on a >20% regression or on a speedup below the 3x floor
-the fast engine is required to clear.  The speedup ratio (fast inj/s /
+``--check`` compares the measured aggregate *speedup* against the latest
+committed record, failing on a >20% regression or on a speedup below the 3x
+floor the fast engine is required to clear.  The speedup ratio (fast inj/s /
 reference inj/s on the same machine, same run) is the machine-portable
 metric; absolute injections/second are recorded for context but never
 compared across machines.
@@ -30,14 +30,14 @@ compared across machines.
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import platform
 import sys
 import time
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from bench_utils import run_gated_benchmark, stamp  # noqa: E402
 
 from repro.engine.backend import Leon3RtlBackend, watchdog_budget  # noqa: E402
 from repro.leon3.fastcore import verify_rtl_bit_identity  # noqa: E402
@@ -49,9 +49,6 @@ BASELINE_PATH = Path(__file__).resolve().parents[1] / "BENCH_rtl_throughput.json
 #: RTL-scale workloads: one automotive kernel plus the two synthetics (the
 #: mix Figures 5/6 lean on, kept small enough for a CI smoke run).
 DEFAULT_WORKLOADS = ("rspeed", "membench", "intbench")
-
-#: Tolerated relative speedup regression against the committed baseline.
-REGRESSION_TOLERANCE = 0.20
 
 #: Hard floor on the aggregate fast-vs-reference speedup.
 SPEEDUP_FLOOR = 3.0
@@ -156,9 +153,7 @@ def main() -> int:
         "fault_models": len(ALL_FAULT_MODELS),
         "seed": args.seed,
         "max_instructions": args.max_instructions,
-        "cpu_count": os.cpu_count(),
-        "python": platform.python_version(),
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        **stamp(),
         "per_workload": rows,
         "aggregate": {
             "injections": total_injections,
@@ -169,38 +164,14 @@ def main() -> int:
             "speedup": round(aggregate_speedup, 2),
         },
     }
-
-    if args.check:
-        if not BASELINE_PATH.exists():
-            print(f"ERROR: --check requires a committed baseline at {BASELINE_PATH}")
-            return 1
-        committed = json.loads(BASELINE_PATH.read_text())
-        for field in ("workloads", "sites_per_workload", "seed", "max_instructions"):
-            if baseline[field] != committed.get(field):
-                print(f"ERROR: --check configuration mismatch on {field!r}: "
-                      f"measured {baseline[field]!r} vs baseline "
-                      f"{committed.get(field)!r}; re-run with the baseline's "
-                      f"configuration (or re-record the baseline)")
-                return 1
-        floor = max(
-            committed["aggregate"]["speedup"] * (1.0 - REGRESSION_TOLERANCE),
-            SPEEDUP_FLOOR,
-        )
-        print(f"  check: measured speedup {aggregate_speedup:.2f}x vs baseline "
-              f"{committed['aggregate']['speedup']:.2f}x (floor {floor:.2f}x)")
-        if aggregate_speedup < floor:
-            print("ERROR: fast-engine throughput fell below the floor "
-                  f"({REGRESSION_TOLERANCE:.0%} under the committed baseline, "
-                  f"never below {SPEEDUP_FLOOR}x)")
-            return 1
-        print("  check: ok")
-
-    if args.no_write:
-        print(json.dumps(baseline, indent=2))
-    else:
-        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
-        print(f"  baseline written   : {BASELINE_PATH}")
-    return 0
+    return run_gated_benchmark(
+        BASELINE_PATH, baseline,
+        config_fields=("workloads", "sites_per_workload", "seed",
+                       "max_instructions"),
+        check=args.check, no_write=args.no_write,
+        speedup_floor=SPEEDUP_FLOOR,
+        regression_message="fast-engine throughput fell below the floor",
+    )
 
 
 if __name__ == "__main__":

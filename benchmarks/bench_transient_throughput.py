@@ -17,31 +17,31 @@ axis of the workload, so longer-running instances are the representative
 case — and the paper's core argument is that their injection counts are what
 makes transient studies expensive.
 
-Writes/updates a ``BENCH_transient_throughput.json`` baseline next to the
-repo root so CI and future optimisation PRs can track the trend:
+Appends a dated record to the ``BENCH_transient_throughput.json`` history
+next to the repo root so CI and future optimisation PRs can track the trend:
 
     python benchmarks/bench_transient_throughput.py                  # record
     python benchmarks/bench_transient_throughput.py --no-write       # measure
     python benchmarks/bench_transient_throughput.py --check          # CI gate
 
-``--check`` compares the measured aggregate *speedup* against the committed
-baseline, failing on a >20% regression or on a speedup below the 3x floor
-the checkpointed runtime is required to clear.  The speedup ratio is the
-machine-portable metric; absolute injections/second are recorded for context
-but never compared across machines.
+``--check`` compares the measured aggregate *speedup* against the latest
+committed record, failing on a >20% regression or on a speedup below the 3x
+floor the checkpointed runtime is required to clear.  The speedup ratio is
+the machine-portable metric; absolute injections/second are recorded for
+context but never compared across machines.
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import os
-import platform
 import sys
 import time
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from bench_utils import run_gated_benchmark, stamp  # noqa: E402
 
 from repro.engine.backend import (  # noqa: E402
     IssBackend,
@@ -58,9 +58,6 @@ BASELINE_PATH = (
 
 #: The RTL-scale workload mix of the other throughput benches.
 DEFAULT_WORKLOADS = ("rspeed", "membench", "intbench")
-
-#: Tolerated relative speedup regression against the committed baseline.
-REGRESSION_TOLERANCE = 0.20
 
 #: Hard floor on the aggregate checkpointed-vs-from-reset speedup.
 SPEEDUP_FLOOR = 3.0
@@ -191,9 +188,7 @@ def main() -> int:
         "windows_per_site": args.windows,
         "seed": args.seed,
         "max_instructions": args.max_instructions,
-        "cpu_count": os.cpu_count(),
-        "python": platform.python_version(),
-        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        **stamp(),
         "per_run": rows,
         "aggregate": {
             "injections": total_injections,
@@ -206,39 +201,14 @@ def main() -> int:
             "speedup": round(aggregate_speedup, 2),
         },
     }
-
-    if args.check:
-        if not BASELINE_PATH.exists():
-            print(f"ERROR: --check requires a committed baseline at {BASELINE_PATH}")
-            return 1
-        committed = json.loads(BASELINE_PATH.read_text())
-        for field in ("workloads", "iterations", "sites_per_workload",
-                      "windows_per_site", "seed", "max_instructions"):
-            if baseline[field] != committed.get(field):
-                print(f"ERROR: --check configuration mismatch on {field!r}: "
-                      f"measured {baseline[field]!r} vs baseline "
-                      f"{committed.get(field)!r}; re-run with the baseline's "
-                      f"configuration (or re-record the baseline)")
-                return 1
-        floor = max(
-            committed["aggregate"]["speedup"] * (1.0 - REGRESSION_TOLERANCE),
-            SPEEDUP_FLOOR,
-        )
-        print(f"  check: measured speedup {aggregate_speedup:.2f}x vs baseline "
-              f"{committed['aggregate']['speedup']:.2f}x (floor {floor:.2f}x)")
-        if aggregate_speedup < floor:
-            print("ERROR: checkpointed-runtime throughput fell below the floor "
-                  f"({REGRESSION_TOLERANCE:.0%} under the committed baseline, "
-                  f"never below {SPEEDUP_FLOOR}x)")
-            return 1
-        print("  check: ok")
-
-    if args.no_write:
-        print(json.dumps(baseline, indent=2))
-    else:
-        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
-        print(f"  baseline written   : {BASELINE_PATH}")
-    return 0
+    return run_gated_benchmark(
+        BASELINE_PATH, baseline,
+        config_fields=("workloads", "iterations", "sites_per_workload",
+                       "windows_per_site", "seed", "max_instructions"),
+        check=args.check, no_write=args.no_write,
+        speedup_floor=SPEEDUP_FLOOR,
+        regression_message="checkpointed-runtime throughput fell below the floor",
+    )
 
 
 if __name__ == "__main__":

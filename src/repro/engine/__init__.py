@@ -13,6 +13,10 @@ experiments run:
 * :mod:`repro.engine.checkpoint` — the checkpointed transient-fault runtime:
   golden snapshot ladders, fork-from-checkpoint injection and the
   early-convergence exit (bit-identical to from-reset execution).
+* :mod:`repro.engine.lockstep` — the lockstep pack runtime: N faulty
+  replicas of one workload execute through a single shared fetch/decode
+  front end as sparse deltas against a golden-replay leader, demoting to the
+  scalar path on divergence (bit-identical to scalar execution).
 * :mod:`repro.engine.campaign` — :class:`CampaignEngine`, which plans a
   campaign, runs it through a scheduler and streams outcomes into
   :class:`~repro.faultinjection.results.CampaignResult` aggregates.
@@ -38,6 +42,11 @@ from repro.engine.checkpoint import (
     Checkpoint,
     CheckpointLadder,
     make_checkpoint_runner,
+)
+from repro.engine.lockstep import (
+    LockstepPackRunner,
+    PackOutcome,
+    make_pack_runner,
 )
 from repro.engine.jobs import (
     CampaignPlan,
@@ -72,6 +81,9 @@ __all__ = [
     "Checkpoint",
     "CheckpointLadder",
     "make_checkpoint_runner",
+    "LockstepPackRunner",
+    "PackOutcome",
+    "make_pack_runner",
     "MultiprocessingScheduler",
     "SerialScheduler",
     "make_scheduler",

@@ -132,6 +132,14 @@ class CampaignConfig:
     #: post-window state digest matches the golden ladder.  Result-
     #: transparent, so deliberately not part of the campaign store key.
     early_exit: bool = True
+    #: Lockstep pack width: how many faulty replicas execute together
+    #: through one shared fetch/decode front end (the pack runtime of
+    #: :mod:`repro.engine.lockstep`).  1 (the default) is the scalar path;
+    #: widths > 1 take effect on the fast ISS backend and fall back to
+    #: scalar execution elsewhere.  Result-transparent — pack outcomes are
+    #: bit-identical to scalar runs (enforced by ``tests/test_lockstep.py``)
+    #: — so deliberately not part of the campaign store key.
+    lockstep_width: int = 1
 
     def __post_init__(self) -> None:
         # Fail at configuration time with a clear message, not deep inside a
@@ -179,6 +187,10 @@ class CampaignConfig:
             raise ValueError(
                 f"checkpoint_interval must be >= 1 or None (adaptive), "
                 f"got {self.checkpoint_interval}"
+            )
+        if self.lockstep_width < 1:
+            raise ValueError(
+                f"lockstep_width must be >= 1, got {self.lockstep_width}"
             )
 
     @property
@@ -398,6 +410,7 @@ class CampaignEngine:
             checkpoint_interval=self.config.checkpoint_interval,
             early_exit=self.config.early_exit,
             runner=self._runner,
+            lockstep_width=self.config.lockstep_width,
         )
 
     def store_key(self) -> str:
@@ -620,6 +633,7 @@ class CampaignEngine:
                     checkpoint_interval=config.checkpoint_interval,
                     early_exit=config.early_exit,
                     runner=self._runner,
+                    lockstep_width=config.lockstep_width,
                 )
                 scheduler = make_scheduler(
                     config.scheduler, config.n_workers, config.chunk_size

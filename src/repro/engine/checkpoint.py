@@ -77,6 +77,7 @@ __all__ = [
     "RtlCheckpointRunner",
     "make_checkpoint_runner",
     "assert_run_results_identical",
+    "splice_golden_tail",
     "trace_from_counts",
 ]
 
@@ -144,6 +145,39 @@ def _merge_tail_counts(
         delta = total - at_rung.get(mnemonic, 0)
         if delta > 0:
             counts[mnemonic] = counts.get(mnemonic, 0) + delta
+
+
+def splice_golden_tail(
+    ladder: CheckpointLadder,
+    rung: Checkpoint,
+    transactions: list,
+    counts: Dict[str, int],
+) -> RunResult:
+    """Complete an ISS fork whose state digest matched *rung*: splice the
+    golden tail observables onto the fork's accumulated prefix.
+
+    The digest match proves the remaining execution replays the golden tail
+    exactly, so the finished run is the fork's transactions plus the golden
+    transactions after the rung, the fork's counts plus the golden tail
+    counts, and the golden run's terminal facts.  Shared by
+    :class:`IssCheckpointRunner` and the lockstep pack runtime
+    (:mod:`repro.engine.lockstep`), whose demoted replicas re-converge
+    through the same rung-aligned digest gate.  Mutates *transactions* and
+    *counts* in place (callers hand over ownership).
+    """
+    golden = ladder.golden
+    transactions.extend(golden.transactions[rung.txn_count:])
+    _merge_tail_counts(counts, ladder.final_counts, rung.counts)
+    return RunResult(
+        backend=golden.backend,
+        transactions=transactions,
+        trace=trace_from_counts(counts),
+        instructions=golden.instructions,
+        cycles=golden.cycles,
+        halted=golden.halted,
+        exit_code=golden.exit_code,
+        trap_kind=golden.trap_kind,
+    )
 
 
 def assert_run_results_identical(expected: RunResult, observed: RunResult) -> None:
@@ -378,18 +412,16 @@ class IssCheckpointRunner(_CheckpointRunnerBase):
                 return self._splice(ladder, rungs[index], transactions, counts)
 
     def _splice(self, ladder, rung, transactions, counts) -> RunResult:
-        golden = ladder.golden
-        transactions.extend(golden.transactions[rung.txn_count :])
-        _merge_tail_counts(counts, ladder.final_counts, rung.counts)
-        return RunResult(
-            backend=golden.backend,
-            transactions=transactions,
-            trace=trace_from_counts(counts),
-            instructions=golden.instructions,
-            cycles=golden.cycles,
-            halted=golden.halted,
-            exit_code=golden.exit_code,
-            trap_kind=golden.trap_kind,
+        return splice_golden_tail(ladder, rung, transactions, counts)
+
+    def pack_runner(self, width: int):
+        """The lockstep pack runtime sharing this runner's golden ladder, so
+        whole packs fork from the same rungs scalar forks use (and demoted
+        replicas splice the same golden tail)."""
+        from repro.engine.lockstep import LockstepPackRunner
+
+        return LockstepPackRunner(
+            self._backend, self._max_instructions, width, ladder=self.ladder()
         )
 
 

@@ -116,6 +116,10 @@ class CampaignPlan:
     #: ``golden`` (not sent to workers; the serial scheduler reuses it so a
     #: transient campaign pays for exactly one golden execution).
     runner: Optional[object] = None
+    #: Lockstep pack width: replicas executed per shared-front-end pack by
+    #: the lockstep runtime of :mod:`repro.engine.lockstep` (1 = scalar).
+    #: Result-transparent — pack outcomes are bit-identical to scalar runs.
+    lockstep_width: int = 1
 
     @property
     def transient(self) -> bool:

@@ -15,6 +15,13 @@ Two schedulers are provided:
 Both stream :class:`OutcomeRecord`s through an optional callback as they
 finish, which the engine uses for incremental aggregation and progress
 reporting.
+
+Both are also **pack-aware**: when the plan carries ``lockstep_width > 1``
+and the backend supports the lockstep runtime
+(:mod:`repro.engine.lockstep`), consecutive jobs are grouped into packs that
+execute through one shared fetch/decode front end — per replica
+bit-identical to the scalar path, so the outcome stream is unchanged
+(serial == process == lockstep, enforced by ``tests/test_lockstep.py``).
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from repro.faultinjection.comparison import compare_runs
 from repro.engine.backend import ExecutionBackend, RunResult, watchdog_budget
 from repro.engine.checkpoint import make_checkpoint_runner
 from repro.engine.jobs import CampaignJob, CampaignPlan, OutcomeRecord, TransientJob
+from repro.engine.lockstep import make_pack_runner
 
 OutcomeCallback = Callable[[OutcomeRecord], None]
 
@@ -67,6 +75,68 @@ def execute_job(
     )
 
 
+def group_packs(
+    jobs: Sequence[CampaignJob], width: int
+) -> List[List[CampaignJob]]:
+    """Group consecutive same-workload, same-kind jobs into packs of at most
+    *width* replicas for the lockstep runtime.
+
+    Plans are homogeneous (one job kind, one workload), so in practice this
+    is contiguous chunking — but the grouping key is checked anyway, so a
+    heterogeneous job stream degrades to smaller packs instead of producing
+    a mixed pack.  Contiguity preserves the canonical outcome order, and the
+    plan's by-start-time transient ordering means a pack's replicas share a
+    trigger neighbourhood (the leader fast-forwards once per pack, not per
+    replica)."""
+    packs: List[List[CampaignJob]] = []
+    for job in jobs:
+        if (
+            packs
+            and len(packs[-1]) < width
+            and type(job) is type(packs[-1][0])
+            and job.workload == packs[-1][0].workload
+        ):
+            packs[-1].append(job)
+        else:
+            packs.append([job])
+    return packs
+
+
+def execute_pack(
+    backend: ExecutionBackend,
+    golden: RunResult,
+    budget: int,
+    pack_jobs: Sequence[CampaignJob],
+    pack_runner,
+    early_exit: bool = True,
+) -> List[OutcomeRecord]:
+    """Run one pack of jobs through the lockstep runtime and classify each
+    replica against *golden*.
+
+    Per-replica outcomes are bit-identical to :func:`execute_job`'s, so the
+    classification stream is scheduler-transparent (serial == process ==
+    lockstep).  The pack's wall time is split evenly across its records —
+    the cost attribution is per pack, the classification is per replica.
+    """
+    start = time.perf_counter()
+    faults = [backend._to_architectural(job.fault) for job in pack_jobs]
+    outcomes = pack_runner.run_pack(faults, budget, early_exit=early_exit)
+    seconds = (time.perf_counter() - start) / len(pack_jobs)
+    records: List[OutcomeRecord] = []
+    for job, outcome in zip(pack_jobs, outcomes):
+        comparison = compare_runs(golden, outcome.result)
+        records.append(
+            OutcomeRecord(
+                job=job,
+                failure_class=comparison.failure_class,
+                detection_cycle=comparison.detection_cycle,
+                faulty_instructions=outcome.result.instructions,
+                seconds=seconds,
+            )
+        )
+    return records
+
+
 def plan_runner(plan: CampaignPlan, backend: ExecutionBackend):
     """The checkpoint runner for *plan*'s transient jobs (``None`` for
     permanent plans or backends without snapshot support).  Reuses the
@@ -91,15 +161,31 @@ class SerialScheduler:
     ) -> List[OutcomeRecord]:
         budget = watchdog_budget(plan.golden.instructions)
         runner = plan_runner(plan, plan.backend)
+        pack_runner = make_pack_runner(
+            plan.backend, plan.max_instructions, plan.lockstep_width, runner=runner
+        )
         records: List[OutcomeRecord] = []
-        for job in plan.jobs:
-            record = execute_job(
-                plan.backend, plan.golden, budget, job,
-                runner=runner, early_exit=plan.early_exit,
-            )
+
+        def emit(record: OutcomeRecord) -> None:
             records.append(record)
             if on_outcome is not None:
                 on_outcome(record)
+
+        if pack_runner is not None:
+            for pack in group_packs(plan.jobs, pack_runner.width):
+                for record in execute_pack(
+                    plan.backend, plan.golden, budget, pack,
+                    pack_runner, early_exit=plan.early_exit,
+                ):
+                    emit(record)
+            return records
+        for job in plan.jobs:
+            emit(
+                execute_job(
+                    plan.backend, plan.golden, budget, job,
+                    runner=runner, early_exit=plan.early_exit,
+                )
+            )
         return records
 
 
@@ -119,6 +205,7 @@ def _init_worker(
     transient: bool = False,
     checkpoint_interval: Optional[int] = None,
     early_exit: bool = True,
+    lockstep_width: int = 1,
 ) -> None:
     backend: ExecutionBackend = backend_factory()
     backend.prepare(program)
@@ -143,6 +230,9 @@ def _init_worker(
     _WORKER["budget"] = watchdog_budget(golden.instructions)
     _WORKER["runner"] = runner
     _WORKER["early_exit"] = early_exit
+    _WORKER["pack_runner"] = make_pack_runner(
+        backend, max_instructions, lockstep_width, runner=runner
+    )
 
 
 def _run_batch(jobs: Sequence[CampaignJob]) -> List[OutcomeRecord]:
@@ -151,6 +241,15 @@ def _run_batch(jobs: Sequence[CampaignJob]) -> List[OutcomeRecord]:
     budget: int = _WORKER["budget"]  # type: ignore[assignment]
     runner = _WORKER.get("runner")
     early_exit: bool = _WORKER.get("early_exit", True)  # type: ignore[assignment]
+    pack_runner = _WORKER.get("pack_runner")
+    if pack_runner is not None:
+        return [
+            record
+            for pack in group_packs(jobs, pack_runner.width)
+            for record in execute_pack(
+                backend, golden, budget, pack, pack_runner, early_exit=early_exit
+            )
+        ]
     return [
         execute_job(
             backend, golden, budget, job, runner=runner, early_exit=early_exit
@@ -199,6 +298,7 @@ class MultiprocessingScheduler:
             initargs=(
                 plan.backend_factory, plan.program, plan.max_instructions,
                 plan.transient, plan.checkpoint_interval, plan.early_exit,
+                plan.lockstep_width,
             ),
         ) as pool:
             for batch_records in pool.imap(_run_batch, batches):

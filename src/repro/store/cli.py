@@ -191,6 +191,7 @@ def cmd_campaign_run(args) -> int:
         transient_duration=args.duration,
         checkpoint_interval=args.checkpoint_interval,
         early_exit=not args.no_early_exit,
+        lockstep_width=args.lockstep,
     )
     with CampaignStore(args.store) as store:
         return _run_engine(store, config, program, args.backend, args.quiet)
@@ -362,6 +363,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: adaptive)")
     run.add_argument("--no-early-exit", action="store_true",
                      help="disable the early-convergence exit (debugging)")
+    run.add_argument("--lockstep", type=int, default=1, metavar="N",
+                     help="execute N faulty replicas per lockstep pack "
+                          "through one shared front end (ISS backend; "
+                          "default: 1, scalar)")
     run.add_argument("--seed", type=int, default=2015)
     run.add_argument("--workers", type=int, default=1,
                      help="worker processes (default: 1, serial)")

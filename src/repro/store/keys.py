@@ -8,8 +8,11 @@ are guaranteed to produce bit-identical ``Pf`` breakdowns — schedulers are
 result-transparent — so the key is a safe cache address for stored outcomes.
 
 Deliberately *not* part of the key: ``n_workers``, ``scheduler`` and
-``chunk_size`` (execution strategy, not results), ``store_path``/``resume``
-(persistence plumbing) and wall-clock timing.
+``chunk_size`` (execution strategy, not results), ``lockstep_width`` (the
+N-way pack runtime of :mod:`repro.engine.lockstep` is bit-identical to the
+scalar path on every observable — a lockstep campaign reads and populates
+the same stored campaign as a scalar one, and ``KEY_VERSION`` stays at 1),
+``store_path``/``resume`` (persistence plumbing) and wall-clock timing.
 
 Bump :data:`KEY_VERSION` whenever a change to the simulators or the
 comparison logic can alter campaign outcomes; old stored campaigns then stop
