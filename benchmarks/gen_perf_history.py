@@ -11,6 +11,15 @@ archaeology:
     python benchmarks/gen_perf_history.py            # rewrite docs/perf_history.md
     python benchmarks/gen_perf_history.py --stdout   # print instead
 
+Beyond raw throughput, the histories also carry the *dynamics* that explain
+it — how many lockstep replicas were demoted (and how many of those were
+spliced mid-pack), how often the checkpointed runtime took the
+early-convergence exit — so the generator renders a campaign-dynamics table
+per trajectory too.  Pass ``--manifest run-manifest.json`` (the output of
+``repro campaign metrics --json``, see :mod:`repro.obs`) to additionally
+fold one stored run manifest's headline metrics (cache-hit ratio, demotion
+reasons, splice rate) into the page.
+
 Speedup ratios are machine-portable; the absolute rates carry the recording
 machine's ``cpu_count``/``python`` stamp and are context only.
 """
@@ -55,6 +64,113 @@ LAYERS = (
 )
 
 
+def _ratio(numerator, denominator) -> str:
+    return "—" if not denominator else f"{numerator / denominator:.1%}"
+
+
+def _sum(rows, field) -> int:
+    return sum(row.get(field, 0) for row in rows)
+
+
+def _dynamics_sections() -> list:
+    """Campaign-dynamics tables derived from the committed histories.
+
+    The lockstep and transient baselines already record *why* each run was
+    fast (demotions, splices, convergences, riders, early exits) next to how
+    fast it was; rendered as rates they form the trend that matters for the
+    paper's correlation argument — a rising demotion rate erodes the pack
+    speedup long before the throughput gate trips.
+    """
+    lines = ["## Campaign dynamics", ""]
+    lockstep = REPO_ROOT / "BENCH_lockstep_throughput.json"
+    if lockstep.exists():
+        lines += [
+            "Lockstep replica resolution per recorded run (fractions of all",
+            "injections; *spliced* is the share of demotions that had to",
+            "replay from the divergence point rather than ride to the end):",
+            "",
+            "| recorded at (UTC) | injections | demoted | spliced "
+            "| converged in pack | rode golden |",
+            "|---|---|---|---|---|---|",
+        ]
+        for record in load_history(lockstep)["history"]:
+            rows = record.get("per_workload", [])
+            injections = _sum(rows, "injections")
+            demotions = _sum(rows, "demotions")
+            lines.append(
+                "| {when} | {inj} | {demoted} | {spliced} | {conv} | {rider} |"
+                .format(
+                    when=record.get("recorded_at", "—"),
+                    inj=_cell(injections),
+                    demoted=_ratio(demotions, injections),
+                    spliced=_ratio(_sum(rows, "demoted_splices"), demotions),
+                    conv=_ratio(_sum(rows, "in_pack_convergences"), injections),
+                    rider=_ratio(_sum(rows, "golden_riders"), injections),
+                )
+            )
+        lines.append("")
+    transient = REPO_ROOT / "BENCH_transient_throughput.json"
+    if transient.exists():
+        lines += [
+            "Checkpointed-runtime early exits per recorded run (the share of",
+            "forks that converged back onto the golden ladder and spliced its",
+            "tail instead of simulating to the horizon):",
+            "",
+            "| recorded at (UTC) | injections | early-exit splice rate |",
+            "|---|---|---|",
+        ]
+        for record in load_history(transient)["history"]:
+            rows = record.get("per_run", [])
+            lines.append(
+                "| {when} | {inj} | {rate} |".format(
+                    when=record.get("recorded_at", "—"),
+                    inj=_cell(_sum(rows, "injections")),
+                    rate=_ratio(_sum(rows, "early_exits"),
+                                _sum(rows, "injections")),
+                )
+            )
+        lines.append("")
+    return lines
+
+
+def _manifest_section(path: Path) -> list:
+    """Headline metrics of one stored run manifest (``repro campaign
+    metrics --json`` output): cache-hit ratio, demotion reasons, splice
+    rate — the same derivations the CLI's human view prints."""
+    import json
+
+    manifest = json.loads(path.read_text())
+    metrics = manifest.get("metrics", {})
+    counters = metrics.get("counters", {})
+    lines = [
+        f"## Latest run manifest (`{path.name}`)",
+        "",
+        f"Recorded {manifest.get('created_at', '—')}, wall clock "
+        f"{manifest.get('wall_seconds', 0.0):.2f}s.",
+        "",
+        "| metric | value |",
+        "|---|---|",
+    ]
+    hits = counters.get("store.cache_hits", 0)
+    misses = counters.get("store.cache_misses", 0)
+    lines.append(f"| cache-hit ratio | {_ratio(hits, hits + misses)} |")
+    replicas = counters.get("lockstep.replicas", 0)
+    demotions = sum(
+        value for series, value in counters.items()
+        if series.startswith("lockstep.demotions{")
+    )
+    if replicas:
+        lines.append(f"| lockstep demotion rate | {_ratio(demotions, replicas)} |")
+    forks = counters.get("checkpoint.forks", 0)
+    if forks:
+        lines.append(
+            f"| early-exit splice rate | "
+            f"{_ratio(counters.get('checkpoint.early_exits', 0), forks)} |"
+        )
+    lines.append("")
+    return lines
+
+
 def _cell(value) -> str:
     if value is None:
         return "—"
@@ -69,7 +185,7 @@ def _speedup(record) -> str:
     return "—" if speedup is None else f"{speedup:.2f}x"
 
 
-def render() -> str:
+def render(manifest_path: Path = None) -> str:
     lines = [
         "# Throughput history",
         "",
@@ -110,6 +226,9 @@ def render() -> str:
                 )
             )
         lines.append("")
+    lines.extend(_dynamics_sections())
+    if manifest_path is not None:
+        lines.extend(_manifest_section(manifest_path))
     return "\n".join(lines).rstrip() + "\n"
 
 
@@ -118,8 +237,13 @@ def main() -> int:
     parser.add_argument("--stdout", action="store_true",
                         help="print the rendered markdown instead of writing "
                              "docs/perf_history.md")
+    parser.add_argument("--manifest", type=Path, default=None, metavar="JSON",
+                        help="also fold one run manifest's headline metrics "
+                             "(cache-hit ratio, demotion rate, splice rate) "
+                             "into the page; expects the output of "
+                             "`repro campaign metrics --json`")
     args = parser.parse_args()
-    text = render()
+    text = render(args.manifest)
     if args.stdout:
         print(text, end="")
     else:

@@ -29,8 +29,10 @@ resumed campaign aggregates in exactly the same order as an uninterrupted one
 from __future__ import annotations
 
 import functools
-import time
+import os
+import platform
 from dataclasses import dataclass, field
+from datetime import datetime, timezone
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.faultinjection.results import CampaignResult, InjectionOutcome
@@ -53,6 +55,8 @@ from repro.engine.jobs import (
     plan_transient_jobs,
 )
 from repro.engine.schedulers import KNOWN_SCHEDULERS, make_scheduler
+from repro.obs.events import EventLog
+from repro.obs.telemetry import TELEMETRY, Span
 
 #: Progress callback: (completed jobs, total jobs, outcome just finished).
 ProgressCallback = Callable[[int, int, InjectionOutcome], None]
@@ -132,6 +136,18 @@ class CampaignConfig:
     #: post-window state digest matches the golden ladder.  Result-
     #: transparent, so deliberately not part of the campaign store key.
     early_exit: bool = True
+    #: Campaign telemetry: collect structured metrics (counters, histograms,
+    #: span timings — see :mod:`repro.obs`) for this run and, on the durable
+    #: path, persist them as the campaign's run manifest.  Result-transparent
+    #: (metrics never feed back into execution) and deliberately not part of
+    #: the campaign store key — enforced by ``tests/test_obs.py``'s pinned-key
+    #: test.  ``False`` keeps the registry exactly as the caller left it.
+    telemetry: bool = True
+    #: Base path of the JSONL trace event log (``None`` disables tracing).
+    #: Each process appends spans to its own ``<path>.<pid>`` sidecar;
+    #: ``repro trace export --chrome`` merges them into a Perfetto-loadable
+    #: timeline.  Result-transparent, not part of the store key.
+    trace_path: Optional[str] = None
     #: Lockstep pack width: how many faulty replicas execute together
     #: through one shared fetch/decode front end (the pack runtime of
     #: :mod:`repro.engine.lockstep`).  1 (the default) is the scalar path;
@@ -191,6 +207,11 @@ class CampaignConfig:
         if self.lockstep_width < 1:
             raise ValueError(
                 f"lockstep_width must be >= 1, got {self.lockstep_width}"
+            )
+        if self.trace_path is not None and not self.telemetry:
+            raise ValueError(
+                "trace_path requires telemetry: the trace events are emitted "
+                "by the telemetry spans (drop trace_path or set telemetry=True)"
             )
 
     @property
@@ -462,8 +483,14 @@ class CampaignEngine:
         opened from ``config.store_path``) makes the campaign durable: jobs
         whose outcomes are already committed under this campaign's content
         key are served from the store and only the missing ones execute.
+
+        With ``config.telemetry`` (the default) the run collects structured
+        metrics into the process-local registry of :mod:`repro.obs` — reset
+        at entry, so after the call the registry holds exactly this run's
+        metrics — and the durable path persists them as the campaign's run
+        manifest.
         """
-        start = time.perf_counter()
+        self._setup_telemetry()
         owns_store = False
         if store is None and self.config.store_path is not None:
             # Imported lazily: the store subsystem sits beside the engine and
@@ -473,22 +500,45 @@ class CampaignEngine:
             store = CampaignStore(self.config.store_path)
             owns_store = True
         try:
-            if store is None:
-                return self._run_direct(fault_models, sites, progress, start)
-            return self._run_stored(store, fault_models, sites, progress, start)
+            with TELEMETRY.span("campaign.run") as span:
+                if store is None:
+                    return self._run_direct(fault_models, sites, progress, span)
+                return self._run_stored(store, fault_models, sites, progress, span)
         finally:
             if owns_store:
                 store.close()
+            events = TELEMETRY.events
+            if events is not None:
+                events.close()
+
+    def _setup_telemetry(self) -> None:
+        """Arm the process-local registry for this run (when configured).
+
+        ``config.telemetry=False`` touches nothing: the registry keeps
+        whatever state the caller put it in (including "disabled", the
+        process default)."""
+        if not self.config.telemetry:
+            return
+        TELEMETRY.enable()
+        TELEMETRY.reset()
+        if self.config.trace_path is not None:
+            events = TELEMETRY.events
+            if events is None or events.path != self.config.trace_path:
+                if events is not None:
+                    events.close()
+                TELEMETRY.events = EventLog(self.config.trace_path)
 
     def _run_direct(
         self,
         fault_models: Optional[Sequence[FaultModel]],
         sites: Optional[Sequence[FaultSite]],
         progress: Optional[ProgressCallback],
-        start: float,
+        span: Span,
     ) -> Dict[FaultModel, CampaignResult]:
         """The store-less path: plan, schedule, aggregate in stream order."""
         plan = self.plan(fault_models=fault_models, sites=sites)
+        TELEMETRY.inc("campaign.jobs_planned", plan.total_jobs)
+        TELEMETRY.inc("campaign.jobs_executed", plan.total_jobs)
         golden = plan.golden
         results = self._make_results(
             plan.fault_models,
@@ -514,7 +564,7 @@ class CampaignEngine:
         # pool via ordered imap), so the streamed appends above are already
         # the canonical per-model result lists.
         records = scheduler.execute(plan, on_outcome)
-        self._attribute_seconds(results, records, records, start)
+        self._attribute_seconds(results, records, records, span)
         return results
 
     def _run_stored(
@@ -523,7 +573,7 @@ class CampaignEngine:
         fault_models: Optional[Sequence[FaultModel]],
         sites: Optional[Sequence[FaultSite]],
         progress: Optional[ProgressCallback],
-        start: float,
+        span: Span,
     ) -> Dict[FaultModel, CampaignResult]:
         """The durable path: serve committed outcomes, execute only the rest.
 
@@ -554,6 +604,11 @@ class CampaignEngine:
         stored = session.stored_records() if config.resume else []
         done_indices = {record.job.index for record in stored}
         remaining = [job for job in jobs if job.index not in done_indices]
+        TELEMETRY.inc("campaign.jobs_planned", len(jobs))
+        TELEMETRY.inc("campaign.jobs_memoized", len(stored))
+        TELEMETRY.inc("campaign.jobs_executed", len(remaining))
+        TELEMETRY.inc("store.cache_hits", len(stored))
+        TELEMETRY.inc("store.cache_misses", len(remaining))
 
         # A full cache hit is served without touching the golden run: the
         # reference stats were persisted when the campaign first executed.
@@ -650,8 +705,41 @@ class CampaignEngine:
         if next_index == len(jobs):
             session.mark_complete()
         fresh = all_records[len(stored):]
-        self._attribute_seconds(results, all_records, fresh, start)
+        self._attribute_seconds(results, all_records, fresh, span)
+        if config.telemetry:
+            session.put_manifest(self._build_manifest(span))
         return results
+
+    def _build_manifest(self, span: Span) -> dict:
+        """This run's manifest: merged metrics + environment + wall clock.
+
+        Persisted by the durable path as a result-transparent artifact
+        (``repro campaign metrics`` reads it back); the metrics snapshot is
+        taken after every worker delta has been merged in.
+        """
+        config = self.config
+        return {
+            "manifest_version": 1,
+            "created_at": datetime.now(timezone.utc).isoformat(
+                timespec="seconds"
+            ),
+            "wall_seconds": span.elapsed(),
+            "environment": {
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+                "cpu_count": os.cpu_count(),
+            },
+            "execution": {
+                "scheduler": config.scheduler,
+                "n_workers": config.n_workers,
+                "chunk_size": config.chunk_size,
+                "lockstep_width": config.lockstep_width,
+                "checkpoint_interval": config.checkpoint_interval,
+                "early_exit": config.early_exit,
+                "transient_windows": config.transient_windows,
+            },
+            "metrics": TELEMETRY.snapshot(),
+        }
 
     def _make_results(
         self,
@@ -677,13 +765,16 @@ class CampaignEngine:
         results: Dict[FaultModel, CampaignResult],
         all_records: Sequence[OutcomeRecord],
         fresh_records: Sequence[OutcomeRecord],
-        start: float,
+        span: Span,
     ) -> None:
         """Per-model simulation cost: the measured seconds of that model's
         faulty runs (stored records keep the seconds of their original
         execution), plus an even share of this run's overhead (golden run,
-        planning, scheduling) not attributable to any one job."""
-        elapsed = time.perf_counter() - start
+        planning, scheduling) not attributable to any one job.  Both sides
+        of the subtraction read the span clock (the run's ``campaign.run``
+        span and the per-job ``engine.job``/``lockstep.pack`` spans), so
+        overhead can never go negative from mixing timers."""
+        elapsed = span.elapsed()
         job_seconds = sum(record.seconds for record in fresh_records)
         overhead = max(0.0, elapsed - job_seconds) / max(1, len(results))
         model_seconds: Dict[FaultModel, float] = {model: 0.0 for model in results}
@@ -718,7 +809,7 @@ def reference_run_seconds(
     """
     backend = backend_factory()
     backend.prepare(program)
-    start = time.perf_counter()
-    for _ in range(runs):
-        backend.run(max_instructions=max_instructions)
-    return time.perf_counter() - start
+    with TELEMETRY.span("engine.reference_runs") as span:
+        for _ in range(runs):
+            backend.run(max_instructions=max_instructions)
+    return span.seconds

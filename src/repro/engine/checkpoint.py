@@ -54,6 +54,7 @@ from repro.iss.trace import ExecutionTrace
 from repro.rtl.faults import TransientFault
 
 from repro.engine.backend import ARCH_REGFILE_NET, RunResult
+from repro.obs.telemetry import TELEMETRY
 
 #: Starting rung spacing of the adaptive ladder (instructions).  Small enough
 #: that short workloads still get a dense ladder (forks skip most of the
@@ -230,10 +231,14 @@ class _CheckpointRunnerBase:
     def ladder(self) -> CheckpointLadder:
         """The golden ladder (recorded on first use, then reused)."""
         if self._ladder is None:
-            self._ladder = self._record_ladder()
+            with TELEMETRY.span("checkpoint.capture"):
+                self._ladder = self._record_ladder()
             self._rung_times = [
                 self._rung_time(rung) for rung in self._ladder.checkpoints
             ]
+            TELEMETRY.set_gauge(
+                "checkpoint.rungs", len(self._ladder.checkpoints)
+            )
         return self._ladder
 
     def golden(self) -> RunResult:
@@ -254,11 +259,29 @@ class _CheckpointRunnerBase:
         """
         if not self.supports(fault):
             self.from_reset_runs += 1
+            TELEMETRY.inc("checkpoint.from_reset_runs")
             return self._backend.run(max_instructions=budget, faults=[fault])
         ladder = self.ladder()
         rung = ladder.rung_at_or_before(fault.start_cycle, self._rung_times)
         self.forks += 1
-        return self._fork(ladder, rung, fault, budget, early_exit)
+        registry = TELEMETRY
+        if not registry.enabled:
+            return self._fork(ladder, rung, fault, budget, early_exit)
+        # Per-fork cost is one span plus a few dict updates — negligible next
+        # to the simulated fork, and skipped entirely above when disabled.
+        registry.counter("checkpoint.forks").inc()
+        registry.histogram("checkpoint.fork_distance").observe(
+            fault.start_cycle - self._rung_time(rung)
+        )
+        early_exits_before = self.early_exits
+        with registry.span("checkpoint.fork"):
+            result = self._fork(ladder, rung, fault, budget, early_exit)
+        if self.early_exits > early_exits_before:
+            registry.counter("checkpoint.early_exits").inc()
+            events = registry.events
+            if events is not None:
+                events.emit_instant("checkpoint.splice")
+        return result
 
     # -- adaptive ladder spacing --------------------------------------------------
 

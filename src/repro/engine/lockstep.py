@@ -117,6 +117,7 @@ from repro.engine.checkpoint import (
     splice_golden_tail,
     trace_from_counts,
 )
+from repro.obs.telemetry import TELEMETRY
 
 __all__ = [
     "LockstepPackRunner",
@@ -444,7 +445,11 @@ class LockstepPackRunner:
         self._counts: Dict[str, int] = {}
         self._pending: Dict[str, int] = {}
         self._executed = 0
-        # Observability for tests and the benchmark.
+        # Observability for tests and the benchmark.  Plain integer
+        # attributes stay the hot-loop representation; :meth:`run_pack`
+        # folds per-pack deltas into the :data:`~repro.obs.telemetry.TELEMETRY`
+        # registry only when it is enabled, so the disabled path pays one
+        # boolean check per pack.
         self.packs = 0
         self.replicas = 0
         self.demotions = 0
@@ -452,6 +457,9 @@ class LockstepPackRunner:
         self.in_pack_convergences = 0
         self.golden_riders = 0
         self.demoted_splices = 0
+        #: Demotion cause -> count (see the ``reason`` strings passed to
+        #: :meth:`_demote_touched` at its six call sites).
+        self.demotion_reasons: Dict[str, int] = {}
 
     # -- sweep bookkeeping --------------------------------------------------------
 
@@ -708,6 +716,7 @@ class LockstepPackRunner:
         budget: int,
         early_exit: bool,
         capture_final: bool,
+        reason: str,
     ) -> PackOutcome:
         """Hand one replica to the scalar fast path at the current
         instruction boundary: leader state plus delta, golden observable
@@ -715,6 +724,7 @@ class LockstepPackRunner:
         checkpoint runtime's fork loop, including the rung-aligned digest
         checks that splice the golden tail on re-convergence."""
         self.demotions += 1
+        self.demotion_reasons[reason] = self.demotion_reasons.get(reason, 0) + 1
         payload = self._payload_with_replica(leader_capture, replica)
         # A fired bit_flip lives entirely in the delta; re-arming it would
         # flip twice.  Sticky faults keep applying on the scalar path (the
@@ -781,8 +791,14 @@ class LockstepPackRunner:
         budget: int,
         early_exit: bool,
         capture_final: bool,
+        reason: str,
     ) -> None:
-        """Demote every replica in *touched* at the current boundary."""
+        """Demote every replica in *touched* at the current boundary.
+
+        *reason* names the divergence that forced the hand-off (one of
+        ``propagation_budget``, ``address_divergence``, ``branch_divergence``,
+        ``trap_divergence``, ``div_zero``, ``unsupported_op``) and feeds the
+        per-cause demotion histogram."""
         self._fold_pending()
         leader_capture = self._leader.capture_state(self._base_pages)
         for replica in touched:
@@ -796,7 +812,8 @@ class LockstepPackRunner:
             if replica.sticky:
                 sticky.remove(replica)
             replica.outcome = self._demote(
-                replica, leader_capture, budget, early_exit, capture_final
+                replica, leader_capture, budget, early_exit, capture_final,
+                reason,
             )
 
     # -- in-pack propagation ------------------------------------------------------
@@ -986,6 +1003,13 @@ class LockstepPackRunner:
             )
         self.packs += 1
         self.replicas += len(faults)
+        telemetry = TELEMETRY if TELEMETRY.enabled else None
+        if telemetry is not None:
+            stats_before = (
+                self.propagations,
+                self.demoted_splices,
+                dict(self.demotion_reasons),
+            )
         replicas = [_Replica(fault) for fault in faults]
         leader = self._leader
         leader.restore_state(self._reset_payload, self._base_pages, 0, None)
@@ -1158,7 +1182,39 @@ class LockstepPackRunner:
                 outcome.result = self._golden_result
             if capture_final_state and outcome.final_state is None:
                 outcome.final_state = self._golden_final_payload()
-        return [replica.outcome for replica in replicas]
+        outcomes = [replica.outcome for replica in replicas]
+        if telemetry is not None:
+            self._record_pack_telemetry(telemetry, stats_before, outcomes)
+        return outcomes
+
+    def _record_pack_telemetry(
+        self, telemetry, stats_before, outcomes: List[PackOutcome]
+    ) -> None:
+        """Fold this pack's stat deltas into the telemetry registry.
+
+        Called once per pack (never from the instruction loop): cumulative
+        attribute deltas become counters, the pack width an observation, and
+        each replica's resolution a labelled count."""
+        propagations, demoted_splices, reasons = stats_before
+        telemetry.counter("lockstep.packs").inc()
+        telemetry.counter("lockstep.replicas").inc(len(outcomes))
+        telemetry.histogram("lockstep.pack.width").observe(len(outcomes))
+        delta = self.propagations - propagations
+        if delta:
+            telemetry.counter("lockstep.propagations").inc(delta)
+        delta = self.demoted_splices - demoted_splices
+        if delta:
+            telemetry.counter("lockstep.demoted_splices").inc(delta)
+        for reason, count in self.demotion_reasons.items():
+            delta = count - reasons.get(reason, 0)
+            if delta:
+                telemetry.counter(
+                    "lockstep.demotions", {"reason": reason}
+                ).inc(delta)
+        for outcome in outcomes:
+            telemetry.counter(
+                "lockstep.resolutions", {"kind": outcome.resolution}
+            ).inc()
 
     def _step_pack(
         self,
@@ -1277,7 +1333,7 @@ class LockstepPackRunner:
                 if over:
                     self._demote_touched(
                         over, live_slots, sticky, budget, early_exit,
-                        capture_final,
+                        capture_final, "propagation_budget",
                     )
                     touched = [
                         replica for replica in touched
@@ -1298,7 +1354,7 @@ class LockstepPackRunner:
                     if demoted:
                         self._demote_touched(
                             demoted, live_slots, sticky, budget, early_exit,
-                            capture_final,
+                            capture_final, "address_divergence",
                         )
                         touched = [
                             replica for replica in touched
@@ -1338,7 +1394,7 @@ class LockstepPackRunner:
                     if touched:
                         self._demote_touched(
                             touched, live_slots, sticky, budget, early_exit,
-                            capture_final,
+                            capture_final, "branch_divergence",
                         )
                 elif op.handler is _TICC_HANDLER:
                     # A trap-on-condition reads the ICC exactly like a
@@ -1363,7 +1419,7 @@ class LockstepPackRunner:
                     if touched:
                         self._demote_touched(
                             touched, live_slots, sticky, budget, early_exit,
-                            capture_final,
+                            capture_final, "trap_divergence",
                         )
                 elif op.handler in _DIV_HANDLERS:
                     # Division is a plain ALU op whose only trap is a zero
@@ -1389,7 +1445,7 @@ class LockstepPackRunner:
                     if trapping:
                         self._demote_touched(
                             trapping, live_slots, sticky, budget, early_exit,
-                            capture_final,
+                            capture_final, "div_zero",
                         )
                         touched = [
                             replica for replica in touched
@@ -1427,7 +1483,7 @@ class LockstepPackRunner:
                 else:
                     self._demote_touched(
                         touched, live_slots, sticky, budget, early_exit,
-                        capture_final,
+                        capture_final, "unsupported_op",
                     )
         # 3. Execute on the leader (golden replay: traps other than the
         #    final exit cannot occur here).

@@ -27,8 +27,7 @@ bit-identical to the scalar path, so the outcome stream is unchanged
 from __future__ import annotations
 
 import multiprocessing
-import time
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.faultinjection.comparison import compare_runs
 
@@ -36,6 +35,8 @@ from repro.engine.backend import ExecutionBackend, RunResult, watchdog_budget
 from repro.engine.checkpoint import make_checkpoint_runner
 from repro.engine.jobs import CampaignJob, CampaignPlan, OutcomeRecord, TransientJob
 from repro.engine.lockstep import make_pack_runner
+from repro.obs.events import EventLog
+from repro.obs.telemetry import TELEMETRY
 
 OutcomeCallback = Callable[[OutcomeRecord], None]
 
@@ -58,20 +59,27 @@ def execute_job(
     :mod:`repro.engine.checkpoint`) when one is available — bit-identical to
     the from-reset run, just faster; permanent jobs and runner-less transient
     jobs execute from reset.
+
+    The span is the one clock path for injection timing:
+    ``OutcomeRecord.seconds`` always comes from it, and with telemetry
+    enabled the same measurement lands in the ``engine.job.seconds``
+    histogram and the trace event stream.
     """
-    start = time.perf_counter()
-    if runner is not None and isinstance(job, TransientJob):
-        faulty = runner.run_transient(job.fault, budget, early_exit=early_exit)
-    else:
-        faulty = backend.run(max_instructions=budget, faults=[job.fault])
-    seconds = time.perf_counter() - start
+    with TELEMETRY.span("engine.job") as span:
+        if runner is not None and isinstance(job, TransientJob):
+            faulty = runner.run_transient(job.fault, budget, early_exit=early_exit)
+        else:
+            faulty = backend.run(max_instructions=budget, faults=[job.fault])
     comparison = compare_runs(golden, faulty)
+    TELEMETRY.inc(
+        "engine.outcomes", labels={"class": comparison.failure_class.value}
+    )
     return OutcomeRecord(
         job=job,
         failure_class=comparison.failure_class,
         detection_cycle=comparison.detection_cycle,
         faulty_instructions=faulty.instructions,
-        seconds=seconds,
+        seconds=span.seconds,
     )
 
 
@@ -115,16 +123,20 @@ def execute_pack(
 
     Per-replica outcomes are bit-identical to :func:`execute_job`'s, so the
     classification stream is scheduler-transparent (serial == process ==
-    lockstep).  The pack's wall time is split evenly across its records —
-    the cost attribution is per pack, the classification is per replica.
+    lockstep).  The pack's wall time (one ``lockstep.pack`` span) is split
+    evenly across its records — the cost attribution is per pack, the
+    classification is per replica.
     """
-    start = time.perf_counter()
-    faults = [backend._to_architectural(job.fault) for job in pack_jobs]
-    outcomes = pack_runner.run_pack(faults, budget, early_exit=early_exit)
-    seconds = (time.perf_counter() - start) / len(pack_jobs)
+    with TELEMETRY.span("lockstep.pack") as span:
+        faults = [backend._to_architectural(job.fault) for job in pack_jobs]
+        outcomes = pack_runner.run_pack(faults, budget, early_exit=early_exit)
+    seconds = span.seconds / len(pack_jobs)
     records: List[OutcomeRecord] = []
     for job, outcome in zip(pack_jobs, outcomes):
         comparison = compare_runs(golden, outcome.result)
+        TELEMETRY.inc(
+            "engine.outcomes", labels={"class": comparison.failure_class.value}
+        )
         records.append(
             OutcomeRecord(
                 job=job,
@@ -158,6 +170,12 @@ class SerialScheduler:
 
     def execute(
         self, plan: CampaignPlan, on_outcome: Optional[OutcomeCallback] = None
+    ) -> List[OutcomeRecord]:
+        with TELEMETRY.span("scheduler.execute", {"scheduler": self.name}):
+            return self._execute(plan, on_outcome)
+
+    def _execute(
+        self, plan: CampaignPlan, on_outcome: Optional[OutcomeCallback]
     ) -> List[OutcomeRecord]:
         budget = watchdog_budget(plan.golden.instructions)
         runner = plan_runner(plan, plan.backend)
@@ -206,7 +224,18 @@ def _init_worker(
     checkpoint_interval: Optional[int] = None,
     early_exit: bool = True,
     lockstep_width: int = 1,
+    telemetry_enabled: bool = False,
+    trace_path: Optional[str] = None,
 ) -> None:
+    # Mirror the parent's telemetry state into this worker process: the
+    # registry is process-local, so each worker accumulates its own deltas
+    # (shipped home per batch by :func:`_run_batch`) and — when tracing —
+    # appends to its own per-PID sidecar file.
+    if telemetry_enabled:
+        TELEMETRY.enable()
+        TELEMETRY.reset()
+        if trace_path is not None:
+            TELEMETRY.events = EventLog(trace_path)
     backend: ExecutionBackend = backend_factory()
     backend.prepare(program)
     runner = None
@@ -235,7 +264,13 @@ def _init_worker(
     )
 
 
-def _run_batch(jobs: Sequence[CampaignJob]) -> List[OutcomeRecord]:
+def _run_batch(
+    jobs: Sequence[CampaignJob],
+) -> Tuple[List[OutcomeRecord], Optional[dict]]:
+    """Execute one batch in this worker; returns the outcome records plus a
+    snapshot-and-reset of the worker's telemetry registry (``None`` when
+    telemetry is off), so successive batches ship disjoint metric deltas the
+    parent merges additively."""
     backend: ExecutionBackend = _WORKER["backend"]  # type: ignore[assignment]
     golden: RunResult = _WORKER["golden"]  # type: ignore[assignment]
     budget: int = _WORKER["budget"]  # type: ignore[assignment]
@@ -243,19 +278,26 @@ def _run_batch(jobs: Sequence[CampaignJob]) -> List[OutcomeRecord]:
     early_exit: bool = _WORKER.get("early_exit", True)  # type: ignore[assignment]
     pack_runner = _WORKER.get("pack_runner")
     if pack_runner is not None:
-        return [
+        records = [
             record
             for pack in group_packs(jobs, pack_runner.width)
             for record in execute_pack(
                 backend, golden, budget, pack, pack_runner, early_exit=early_exit
             )
         ]
-    return [
-        execute_job(
-            backend, golden, budget, job, runner=runner, early_exit=early_exit
-        )
-        for job in jobs
-    ]
+    else:
+        records = [
+            execute_job(
+                backend, golden, budget, job, runner=runner, early_exit=early_exit
+            )
+            for job in jobs
+        ]
+    snapshot = TELEMETRY.snapshot(reset=True) if TELEMETRY.enabled else None
+    if snapshot is not None and TELEMETRY.events is not None:
+        # Keep the worker's trace sidecar current even if the pool is torn
+        # down without cleanup (workers are killed, not joined gracefully).
+        TELEMETRY.events.close()
+    return records, snapshot
 
 
 def chunk_jobs(
@@ -288,20 +330,32 @@ class MultiprocessingScheduler:
     def execute(
         self, plan: CampaignPlan, on_outcome: Optional[OutcomeCallback] = None
     ) -> List[OutcomeRecord]:
+        with TELEMETRY.span("scheduler.execute", {"scheduler": self.name}):
+            return self._execute(plan, on_outcome)
+
+    def _execute(
+        self, plan: CampaignPlan, on_outcome: Optional[OutcomeCallback]
+    ) -> List[OutcomeRecord]:
         batches = chunk_jobs(plan.jobs, self.n_workers, self.chunk_size)
         if not batches:
             return []
         records: List[OutcomeRecord] = []
+        # The parent's telemetry state at pool creation decides the workers':
+        # each worker mirrors it in its own process-local registry and ships
+        # per-batch snapshot deltas home with its records.
+        events = TELEMETRY.events
         with multiprocessing.Pool(
             processes=min(self.n_workers, len(batches)),
             initializer=_init_worker,
             initargs=(
                 plan.backend_factory, plan.program, plan.max_instructions,
                 plan.transient, plan.checkpoint_interval, plan.early_exit,
-                plan.lockstep_width,
+                plan.lockstep_width, TELEMETRY.enabled,
+                events.path if events is not None else None,
             ),
         ) as pool:
-            for batch_records in pool.imap(_run_batch, batches):
+            for batch_records, snapshot in pool.imap(_run_batch, batches):
+                TELEMETRY.merge(snapshot)
                 for record in batch_records:
                     records.append(record)
                     if on_outcome is not None:

@@ -8,7 +8,10 @@ Drives store-backed campaigns end-to-end without writing any Python:
     repro campaign run --workload rspeed --transient 4   # SEU campaign
     repro campaign resume --key 3f2a        # continue an interrupted campaign
     repro campaign status                   # progress of every stored campaign
+    repro campaign status --watch           # live view (rate, ETA, breakdown)
     repro campaign report --key 3f2a        # Pf breakdown, zero simulation
+    repro campaign metrics 3f2a             # run manifest: telemetry metrics
+    repro trace export --chrome out.json    # Perfetto-loadable trace
     repro store ls                          # stored campaigns
     repro store gc                          # drop incomplete campaigns
 
@@ -22,14 +25,21 @@ import argparse
 import json
 import os
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from repro.engine import CampaignConfig, CampaignEngine, IssBackend, Leon3RtlBackend
 from repro.faultinjection.comparison import FailureClass
+from repro.obs.events import export_chrome_trace, sidecar_paths
+from repro.obs.telemetry import TELEMETRY, split_series_name
 from repro.rtl.faults import ALL_FAULT_MODELS, FaultModel
 from repro.workloads import all_workloads, build_program
 
 from repro.store.store import CampaignInfo, CampaignStore, StoreError
+
+#: Default base path of the JSONL trace event log (``campaign run --trace``
+#: writes ``<path>.<pid>`` sidecars; ``repro trace export`` merges them).
+DEFAULT_TRACE = "trace.jsonl"
 
 DEFAULT_STORE = os.environ.get("REPRO_STORE", "campaigns.sqlite")
 
@@ -123,14 +133,73 @@ def _print_breakdown(store: CampaignStore, info: CampaignInfo) -> None:
     print(_format_table(("fault model", "injections", "failures", "Pf"), rows))
 
 
-def _progress_printer(stream=sys.stderr):
+def _span_rate() -> Optional[float]:
+    """Injections/sec from the measured job/pack spans, ``None`` before any
+    span has landed (or with telemetry off).  This is the *simulation* rate —
+    the span histograms exclude planning/scheduling overhead — and in
+    multiprocessing campaigns it aggregates every worker's shipped deltas."""
+    if not TELEMETRY.enabled:
+        return None
+    snapshot = TELEMETRY.snapshot()
+    histograms = snapshot["histograms"]
+    seconds = 0.0
+    injections = 0
+    job = histograms.get("engine.job.seconds")
+    if job:
+        seconds += job["total"]
+        injections += job["count"]
+    pack = histograms.get("lockstep.pack.seconds")
+    if pack:
+        seconds += pack["total"]
+        # One pack span covers all its replicas; count injections, not packs.
+        injections += snapshot["counters"].get("lockstep.replicas", pack["count"])
+    if injections and seconds > 0:
+        return injections / seconds
+    return None
+
+
+def _progress_printer(stream=None, min_interval: Optional[float] = None):
+    """Streaming progress callback for ``repro campaign run``.
+
+    TTY-aware: on a terminal it live-updates one ``\\r`` line; redirected to
+    a file or pipe it appends plain newline-terminated lines instead of
+    spamming carriage returns into the log.  Emission is rate-limited both
+    by count (at most ~20 intermediate updates) and by wall clock (no more
+    than one update per *min_interval* seconds — default 0.25s on a TTY, 5s
+    redirected), and each update shows injections/sec from the telemetry
+    span data when available (wall-clock rate otherwise).
+    """
+    if stream is None:
+        stream = sys.stderr  # call-time lookup, so capture/redirects see it
+    is_tty = bool(getattr(stream, "isatty", None)) and stream.isatty()
+    if min_interval is None:
+        min_interval = 0.25 if is_tty else 5.0
+    start = time.monotonic()
+    last_emit = [0.0]
+
     def progress(done: int, total: int, outcome) -> None:
+        now = time.monotonic()
+        final = done == total
         step = max(1, total // 20)
-        if done % step == 0 or done == total:
-            stream.write(f"\r  {done}/{total} injections")
-            stream.flush()
-            if done == total:
+        if not final:
+            if done % step != 0 and not is_tty:
+                return
+            if now - last_emit[0] < min_interval:
+                return
+        last_emit[0] = now
+        rate = _span_rate()
+        if rate is None and now > start:
+            rate = done / (now - start)
+        suffix = f"  ({rate:.1f} inj/s)" if rate else ""
+        line = f"  {done}/{total} injections{suffix}"
+        if is_tty:
+            stream.write(f"\r{line}")
+            if final:
                 stream.write("\n")
+        else:
+            stream.write(f"{line}\n")
+        stream.flush()
+
     return progress
 
 
@@ -151,9 +220,13 @@ def _run_engine(
     engine = CampaignEngine(
         program, config, backend_factory=BACKEND_FACTORIES[backend]
     )
-    key = _key_for(engine, config, program)
     progress = None if quiet else _progress_printer()
     engine.run(progress=progress, store=store)
+    # Derived *after* the run: transient key planning records the golden
+    # checkpoint ladder, which should happen inside run() where telemetry is
+    # live (the derivation is deterministic, so the key is the same either
+    # way — run() stored the campaign under exactly this key).
+    key = _key_for(engine, config, program)
     after = store.counters()
     executed = after["jobs_executed"] - before["jobs_executed"]
     cached = after["jobs_cached"] - before["jobs_cached"]
@@ -192,6 +265,8 @@ def cmd_campaign_run(args) -> int:
         checkpoint_interval=args.checkpoint_interval,
         early_exit=not args.no_early_exit,
         lockstep_width=args.lockstep,
+        telemetry=not args.no_telemetry,
+        trace_path=args.trace,
     )
     with CampaignStore(args.store) as store:
         return _run_engine(store, config, program, args.backend, args.quiet)
@@ -238,7 +313,80 @@ def cmd_campaign_resume(args) -> int:
         return _run_engine(store, config, program, backend, args.quiet)
 
 
+def _aggregate_breakdown(store: CampaignStore, key: str) -> str:
+    """One-line failure-class histogram across all models of a campaign."""
+    classes: dict = {}
+    for histogram in store.breakdown(key).values():
+        for failure_class, count in histogram.items():
+            classes[failure_class] = classes.get(failure_class, 0) + count
+    return " ".join(
+        f"{failure_class}:{count}" for failure_class, count in sorted(classes.items())
+    )
+
+
+def _watch_campaigns(store: CampaignStore, key: Optional[str], interval: float,
+                     stream=None) -> int:
+    """Live progress view: rate, ETA and outcome breakdown, refreshed every
+    *interval* seconds until the watched campaign(s) complete (or Ctrl-C).
+
+    Reads only the store — it watches a campaign some *other* process is
+    running (or several), which is the whole point of a durable store.
+    """
+    if stream is None:
+        # Resolved at call time, not at def time, so pytest's capsys (and
+        # anything else that swaps sys.stdout) sees the output.
+        stream = sys.stdout
+    is_tty = bool(getattr(stream, "isatty", None)) and stream.isatty()
+    previous: dict = {}
+    previous_time = time.monotonic()
+    first = True
+    while True:
+        infos = (
+            [_resolve_info(store, key)] if key else store.list_campaigns()
+        )
+        if not infos:
+            print("store is empty", file=stream)
+            return 0
+        now = time.monotonic()
+        dt = max(now - previous_time, 1e-9)
+        lines = []
+        for info in infos:
+            done_before = previous.get(info.key, info.done_jobs)
+            rate = (info.done_jobs - done_before) / dt if not first else 0.0
+            remaining = info.total_jobs - info.done_jobs
+            if info.complete:
+                eta = "done"
+            elif rate > 0:
+                eta = f"ETA {remaining / rate:6.0f}s"
+            else:
+                eta = "ETA --"
+            breakdown = _aggregate_breakdown(store, info.key)
+            lines.append(
+                f"{info.key[:12]}  {info.workload:<10} "
+                f"{info.done_jobs}/{info.total_jobs} "
+                f"({info.progress * 100:5.1f}%)  {rate:6.1f} inj/s  {eta}"
+                + (f"  [{breakdown}]" if breakdown else "")
+            )
+            previous[info.key] = info.done_jobs
+        previous_time = now
+        if is_tty and not first:
+            # Redraw in place: move up over the previous block.
+            stream.write(f"\x1b[{len(lines)}A\x1b[J")
+        stream.write("\n".join(lines) + "\n")
+        stream.flush()
+        if all(info.complete for info in infos):
+            return 0
+        first = False
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0
+
+
 def cmd_campaign_status(args) -> int:
+    if getattr(args, "watch", False):
+        with CampaignStore(args.store) as store:
+            return _watch_campaigns(store, args.key, args.interval)
     with CampaignStore(args.store) as store:
         infos = (
             [_resolve_info(store, args.key)] if args.key else store.list_campaigns()
@@ -301,6 +449,144 @@ def cmd_campaign_report(args) -> int:
                   f"{info.backend}, seed {info.seed}) — {info.status}, "
                   f"{info.done_jobs}/{info.total_jobs} outcomes")
             _print_breakdown(store, info)
+    return 0
+
+
+def _format_histogram(name: str, data: dict) -> List[str]:
+    """Render one snapshot histogram as aligned detail lines."""
+    count = data["count"]
+    if not count:
+        return [f"  {name}: empty"]
+    mean = data["total"] / count
+    lines = [
+        f"  {name}: count={count} mean={mean:.6g} "
+        f"min={data['min']:.6g} max={data['max']:.6g}"
+    ]
+    for bound, n in sorted(
+        data["buckets"].items(),
+        key=lambda item: float("inf") if item[0] == "inf" else int(item[0]),
+    ):
+        label = "inf" if bound == "inf" else f"<={bound}"
+        lines.append(f"    {label:>12}: {n}")
+    return lines
+
+
+def _metrics_summary(metrics: dict) -> List[str]:
+    """The derived headline numbers the paper workflow actually wants:
+    demotion-reason breakdown, fork-rung distance distribution, cache-hit
+    ratio — computed from the raw series in a stored manifest."""
+    counters = metrics.get("counters", {})
+    histograms = metrics.get("histograms", {})
+    lines: List[str] = []
+
+    hits = counters.get("store.cache_hits", 0)
+    misses = counters.get("store.cache_misses", 0)
+    if hits or misses:
+        ratio = hits / (hits + misses)
+        lines.append(
+            f"  cache-hit ratio: {ratio:.1%} ({hits} memoized / "
+            f"{hits + misses} planned)"
+        )
+
+    demotions = {}
+    for series, value in counters.items():
+        base, labels = split_series_name(series)
+        if base == "lockstep.demotions" and "reason" in labels:
+            demotions[labels["reason"]] = value
+    if demotions:
+        total = sum(demotions.values())
+        lines.append(f"  demotions by reason ({total} total):")
+        for reason, value in sorted(
+            demotions.items(), key=lambda item: -item[1]
+        ):
+            lines.append(f"    {reason:>20}: {value}")
+
+    fork_distance = histograms.get("checkpoint.fork_distance")
+    if fork_distance and fork_distance["count"]:
+        lines.extend(_format_histogram(
+            "fork-rung distance (cycles)", fork_distance
+        ))
+    forks = counters.get("checkpoint.forks", 0)
+    splices = counters.get("checkpoint.early_exits", 0)
+    if forks:
+        lines.append(
+            f"  early-exit splice rate: {splices / forks:.1%} "
+            f"({splices}/{forks} forks)"
+        )
+    return lines
+
+
+def cmd_campaign_metrics(args) -> int:
+    with CampaignStore(args.store) as store:
+        if args.key:
+            info = _resolve_info(store, args.key)
+        else:
+            infos = store.list_campaigns()
+            if len(infos) != 1:
+                raise CliError(
+                    "store holds several campaigns; pass a key prefix"
+                    if infos else "store is empty"
+                )
+            info = infos[0]
+        manifest = store.get_manifest(info.key, args.run)
+        if manifest is None:
+            which = "any run" if args.run is None else f"run {args.run}"
+            raise CliError(
+                f"campaign {info.key[:12]} has no manifest for {which} "
+                f"(was it run with telemetry disabled, or without a store?)"
+            )
+        if args.json:
+            print(json.dumps(manifest, indent=2, sort_keys=True))
+            return 0
+
+        environment = manifest.get("environment", {})
+        execution = manifest.get("execution", {})
+        print(f"campaign {info.key[:12]} ({info.workload}) — "
+              f"run manifest from {manifest.get('created_at', '?')}")
+        print(f"  wall clock: {manifest.get('wall_seconds', 0.0):.3f}s  "
+              f"python {environment.get('python', '?')} on "
+              f"{environment.get('platform', '?')}")
+        if execution:
+            rendered = " ".join(
+                f"{key}={value}" for key, value in sorted(execution.items())
+                if value is not None
+            )
+            print(f"  execution: {rendered}")
+
+        metrics = manifest.get("metrics", {})
+        summary = _metrics_summary(metrics)
+        if summary:
+            print("derived:")
+            for line in summary:
+                print(line)
+        counters = metrics.get("counters", {})
+        if counters:
+            print("counters:")
+            for series in sorted(counters):
+                print(f"  {series}: {counters[series]}")
+        gauges = metrics.get("gauges", {})
+        if gauges:
+            print("gauges:")
+            for series in sorted(gauges):
+                print(f"  {series}: {gauges[series]}")
+        histograms = metrics.get("histograms", {})
+        if histograms:
+            print("histograms:")
+            for series in sorted(histograms):
+                for line in _format_histogram(series, histograms[series]):
+                    print(line)
+    return 0
+
+
+def cmd_trace_export(args) -> int:
+    if not sidecar_paths(args.input):
+        raise CliError(
+            f"no trace sidecars match {args.input}.*; run a campaign with "
+            f"--trace first (e.g. repro campaign run ... --trace)"
+        )
+    count = export_chrome_trace(args.input, args.chrome)
+    print(f"wrote {count} events to {args.chrome} "
+          f"(load in Perfetto / chrome://tracing)")
     return 0
 
 
@@ -376,6 +662,14 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-resume", action="store_true",
                      help="re-execute even if outcomes are already stored")
     run.add_argument("--quiet", action="store_true", help="no progress output")
+    run.add_argument("--no-telemetry", action="store_true",
+                     help="disable metrics collection and the run manifest "
+                          "(results and store keys are identical either way)")
+    run.add_argument("--trace", nargs="?", const=DEFAULT_TRACE, default=None,
+                     metavar="PATH",
+                     help="write JSONL trace events to PATH.<pid> sidecars "
+                          f"(default path: {DEFAULT_TRACE}); export with "
+                          "`repro trace export --chrome out.json`")
     _add_store_option(run)
     run.set_defaults(handler=cmd_campaign_run)
 
@@ -392,8 +686,26 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="progress of stored campaigns"
     )
     status.add_argument("--key", default=None, help="campaign key (unique prefix)")
+    status.add_argument("--watch", action="store_true",
+                        help="refresh live until complete (rate, ETA, "
+                             "outcome breakdown)")
+    status.add_argument("--interval", type=float, default=2.0, metavar="SEC",
+                        help="--watch refresh interval in seconds (default: 2)")
     _add_store_option(status)
     status.set_defaults(handler=cmd_campaign_status)
+
+    metrics = campaign_commands.add_parser(
+        "metrics", help="telemetry metrics from a stored run manifest"
+    )
+    metrics.add_argument("key", nargs="?", default=None,
+                         help="campaign key (unique prefix; optional when the "
+                              "store holds exactly one campaign)")
+    metrics.add_argument("--run", type=int, default=None, metavar="N",
+                         help="run index to show (default: latest)")
+    metrics.add_argument("--json", action="store_true",
+                         help="dump the raw manifest as JSON")
+    _add_store_option(metrics)
+    metrics.set_defaults(handler=cmd_campaign_metrics)
 
     report = campaign_commands.add_parser(
         "report", help="Pf breakdown from stored outcomes (no simulation)"
@@ -418,6 +730,19 @@ def build_parser() -> argparse.ArgumentParser:
                     help="delete every campaign and memo, not just incomplete ones")
     _add_store_option(gc)
     gc.set_defaults(handler=cmd_store_gc)
+
+    trace = commands.add_parser("trace", help="export recorded trace events")
+    trace_commands = trace.add_subparsers(dest="subcommand", required=True)
+
+    export = trace_commands.add_parser(
+        "export", help="merge trace sidecars into a Chrome/Perfetto trace"
+    )
+    export.add_argument("--input", default=DEFAULT_TRACE, metavar="PATH",
+                        help="trace base path written by campaign run --trace "
+                             f"(default: {DEFAULT_TRACE})")
+    export.add_argument("--chrome", required=True, metavar="OUT",
+                        help="output file in Chrome trace-event format")
+    export.set_defaults(handler=cmd_trace_export)
 
     return parser
 

@@ -12,7 +12,12 @@ Deliberately *not* part of the key: ``n_workers``, ``scheduler`` and
 N-way pack runtime of :mod:`repro.engine.lockstep` is bit-identical to the
 scalar path on every observable — a lockstep campaign reads and populates
 the same stored campaign as a scalar one, and ``KEY_VERSION`` stays at 1),
-``store_path``/``resume`` (persistence plumbing) and wall-clock timing.
+``store_path``/``resume`` (persistence plumbing), wall-clock timing, and the
+``telemetry``/``trace_path`` observability switches (metrics and trace
+events describe *how* a run executed and never feed back into what it
+computes; run manifests are stored beside the campaign, not in its key —
+byte-identical keys with telemetry on and off are enforced by the
+pinned-key test in ``tests/test_obs.py``).
 
 Bump :data:`KEY_VERSION` whenever a change to the simulators or the
 comparison logic can alter campaign outcomes; old stored campaigns then stop

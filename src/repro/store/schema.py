@@ -1,6 +1,6 @@
 """SQLite schema of the campaign result store.
 
-Three tables:
+Four tables:
 
 * ``campaigns`` — one row per content-addressed campaign: the plan metadata
   (workload, scope, models, seed, backend, budget), the golden-run stats, a
@@ -10,6 +10,11 @@ Three tables:
 * ``outcomes`` — the streamed :class:`~repro.engine.jobs.OutcomeRecord`s,
   one row per finished injection, keyed by ``(campaign_key, job_index)``.
   Rows carry everything needed to reconstruct the record bit-identically.
+* ``manifests`` — per-run telemetry manifests (merged metrics snapshot +
+  environment + wall clock, see :mod:`repro.obs`), keyed by
+  ``(campaign_key, run_index)`` so repeated runs of one campaign append.
+  Result-transparent: manifests describe how a run executed, never what it
+  computed, and play no part in the content key.
 * ``memos`` — content-addressed JSON artifacts that are not campaigns
   (Table 1 characterisations, simulation-time comparisons).
 
@@ -28,7 +33,13 @@ from __future__ import annotations
 #: ``outcomes`` (transient-job identity); version-1 databases are migrated in
 #: place with ``ALTER TABLE`` — existing permanent-fault rows keep NULLs and
 #: reconstruct exactly as before.
-SCHEMA_VERSION = 2
+#:
+#: Version 3 adds the ``manifests`` table (per-run telemetry artifacts).
+#: The v2 -> v3 migration is purely additive: the ``CREATE TABLE IF NOT
+#: EXISTS`` pass below creates the missing table in place, no existing row
+#: changes shape, and campaign keys are untouched (``KEY_VERSION`` stays 1
+#: — see :mod:`repro.store.keys`).
+SCHEMA_VERSION = 3
 
 SCHEMA_STATEMENTS = (
     """
@@ -70,6 +81,16 @@ SCHEMA_STATEMENTS = (
         start_cycle         INTEGER,
         duration            INTEGER,
         PRIMARY KEY (campaign_key, job_index)
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS manifests (
+        campaign_key TEXT NOT NULL
+                     REFERENCES campaigns(key) ON DELETE CASCADE,
+        run_index    INTEGER NOT NULL,
+        payload      TEXT NOT NULL,
+        created_at   TEXT NOT NULL,
+        PRIMARY KEY (campaign_key, run_index)
     )
     """,
     """

@@ -35,6 +35,8 @@ from repro.isa.assembler import Program
 from repro.rtl.faults import FaultModel
 from repro.rtl.sites import FaultSite
 
+from repro.obs.telemetry import TELEMETRY
+
 from repro.store.keys import backend_identity, campaign_key, transient_token
 from repro.store.schema import apply_schema
 
@@ -323,6 +325,62 @@ class CampaignStore:
             )
         return per_model
 
+    # -- run manifests (telemetry artifacts) ----------------------------------------
+
+    def put_manifest(self, key: str, payload: dict) -> int:
+        """Append one run manifest under *key*; returns its run index.
+
+        Manifests are result-transparent (metrics, environment, wall clock —
+        never outcomes), so they live beside the campaign rather than in its
+        content key, and each run of the same campaign appends a new row.
+        """
+        if self._campaign_row(key) is None:
+            raise StoreError(f"no campaign with key {key!r}")
+        with self._conn:
+            (run_index,) = self._conn.execute(
+                "SELECT COALESCE(MAX(run_index), -1) + 1 FROM manifests "
+                "WHERE campaign_key = ?",
+                (key,),
+            ).fetchone()
+            self._conn.execute(
+                """
+                INSERT INTO manifests (campaign_key, run_index, payload,
+                                       created_at)
+                VALUES (?, ?, ?, ?)
+                """,
+                (key, run_index, json.dumps(payload, sort_keys=True), _utcnow()),
+            )
+        return run_index
+
+    def get_manifest(
+        self, key: str, run_index: Optional[int] = None
+    ) -> Optional[dict]:
+        """The manifest of one run (latest when *run_index* is ``None``)."""
+        if run_index is None:
+            row = self._conn.execute(
+                "SELECT payload FROM manifests WHERE campaign_key = ? "
+                "ORDER BY run_index DESC LIMIT 1",
+                (key,),
+            ).fetchone()
+        else:
+            row = self._conn.execute(
+                "SELECT payload FROM manifests WHERE campaign_key = ? "
+                "AND run_index = ?",
+                (key, run_index),
+            ).fetchone()
+        return None if row is None else json.loads(row["payload"])
+
+    def list_manifests(self, key: str) -> List[dict]:
+        """Every stored run manifest of a campaign, oldest first."""
+        return [
+            json.loads(row["payload"])
+            for row in self._conn.execute(
+                "SELECT payload FROM manifests WHERE campaign_key = ? "
+                "ORDER BY run_index",
+                (key,),
+            )
+        ]
+
     # -- memos (non-campaign artifacts) --------------------------------------------
 
     def memo_get(self, key: str) -> Optional[dict]:
@@ -410,9 +468,18 @@ class CampaignSession:
         }
 
     def commit(self, records: Sequence[OutcomeRecord]) -> None:
-        """Commit one chunk of finished outcomes atomically (idempotent)."""
+        """Commit one chunk of finished outcomes atomically (idempotent).
+
+        Each chunk commit is one ``store.commit`` span (commit latency) plus
+        an outcome counter when telemetry is enabled.
+        """
         if not records:
             return
+        with TELEMETRY.span("store.commit"):
+            self._commit(records)
+        TELEMETRY.inc("store.outcomes_committed", len(records))
+
+    def _commit(self, records: Sequence[OutcomeRecord]) -> None:
         rows = [
             (
                 self.key,
@@ -459,6 +526,14 @@ class CampaignSession:
                 "WHERE key = ?",
                 (_utcnow(), self.key),
             )
+
+    def put_manifest(self, payload: dict) -> int:
+        """Append this run's telemetry manifest (see
+        :meth:`CampaignStore.put_manifest`)."""
+        return self.store.put_manifest(self.key, payload)
+
+    def get_manifest(self, run_index: Optional[int] = None) -> Optional[dict]:
+        return self.store.get_manifest(self.key, run_index)
 
     def mark_complete(self) -> None:
         with self.store._conn:
