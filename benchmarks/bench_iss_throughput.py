@@ -65,7 +65,7 @@ def verify_identical(name, ref_emu, ref, fast_emu, fast) -> None:
     except AssertionError as exc:
         raise SystemExit(
             f"ERROR: fast interpreter diverges from reference on {name!r}: {exc}"
-        )
+        ) from exc
 
 
 def main() -> int:

@@ -158,7 +158,7 @@ def measure(program, args):
                 raise SystemExit(
                     f"ERROR: {label} run diverges from from-reset on "
                     f"{program.name!r} under {job.fault.describe()}: {error}"
-                )
+                ) from error
 
     return {
         "injections": len(jobs),

@@ -109,7 +109,7 @@ def measure(backend_name, program, sites, windows, seed, max_instructions):
                 f"ERROR: checkpointed run diverges from from-reset on "
                 f"{program.name!r}/{backend_name} under {job.fault.describe()}: "
                 f"{error}"
-            )
+            ) from error
     return {
         "injections": len(jobs),
         "golden_instructions": golden.instructions,

@@ -25,8 +25,18 @@ thousands of injection runs (per-worker golden caching).
 
 from __future__ import annotations
 
+import types
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Protocol, Union, runtime_checkable
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Iterable,
+    List,
+    Optional,
+    Protocol,
+    Union,
+    runtime_checkable,
+)
 
 from repro.isa.assembler import Program
 from repro.iss.emulator import Emulator, ExecutionResult
@@ -38,6 +48,9 @@ from repro.leon3.core import Leon3Core, RtlExecutionResult
 from repro.leon3.fastcore import Leon3FastCore
 from repro.rtl.faults import FaultModel, PermanentFault, TransientFault
 from repro.rtl.sites import SiteUniverse
+
+if TYPE_CHECKING:
+    from repro.engine.checkpoint import _CheckpointRunnerBase
 
 #: Head-room factor applied to the golden instruction count to detect hangs.
 WATCHDOG_FACTOR = 2.0
@@ -121,8 +134,12 @@ class Leon3RtlBackend:
     transient_unit = "cycles"
 
     def __init__(
-        self, core: Optional[Leon3Core] = None, *, fast: bool = True, **core_kwargs
-    ):
+        self,
+        core: Optional[Leon3Core] = None,
+        *,
+        fast: bool = True,
+        **core_kwargs: Any,
+    ) -> None:
         if core is not None:
             self.core = core
         elif fast:
@@ -159,7 +176,7 @@ class Leon3RtlBackend:
 
     def checkpoint_runner(
         self, max_instructions: int, interval: Optional[int] = None
-    ):
+    ) -> Optional["_CheckpointRunnerBase"]:
         """Build the checkpointed transient runtime for this backend
         (see :mod:`repro.engine.checkpoint`); ``None`` when unsupported."""
         # Imported lazily: checkpoint.py imports this module.
@@ -201,11 +218,13 @@ ARCH_REGFILE_NET = "regfile"
 #: How RTL permanent-fault models map onto architectural fault models.  The
 #: open-line model has no architectural equivalent; it degrades to a single
 #: transient bit flip, the closest practice used in ISS-level campaigns.
-_ARCH_MODEL = {
-    FaultModel.STUCK_AT_0: "stuck_at_0",
-    FaultModel.STUCK_AT_1: "stuck_at_1",
-    FaultModel.OPEN_LINE: "bit_flip",
-}
+_ARCH_MODEL = types.MappingProxyType(
+    {
+        FaultModel.STUCK_AT_0: "stuck_at_0",
+        FaultModel.STUCK_AT_1: "stuck_at_1",
+        FaultModel.OPEN_LINE: "bit_flip",
+    }
+)
 
 
 class IssBackend:
@@ -264,7 +283,7 @@ class IssBackend:
 
     def checkpoint_runner(
         self, max_instructions: int, interval: Optional[int] = None
-    ):
+    ) -> Optional["_CheckpointRunnerBase"]:
         """Build the checkpointed transient runtime for this backend
         (see :mod:`repro.engine.checkpoint`); ``None`` when unsupported."""
         from repro.engine.checkpoint import make_checkpoint_runner
@@ -310,7 +329,7 @@ class IssBackend:
         )
 
     @staticmethod
-    def normalize_trap_kind(trap) -> Optional[str]:
+    def normalize_trap_kind(trap: Any) -> Optional[str]:
         """The ISS result's trap kind as campaigns observe it.
 
         Budget exhaustion is reported as a "watchdog" trap event by the

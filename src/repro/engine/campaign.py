@@ -32,8 +32,17 @@ import functools
 import os
 import platform
 from dataclasses import dataclass, field
-from datetime import datetime, timezone
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    cast,
+)
 
 from repro.faultinjection.results import CampaignResult, InjectionOutcome
 from repro.isa.assembler import Program
@@ -49,14 +58,20 @@ from repro.engine.backend import (
 )
 from repro.engine.checkpoint import make_checkpoint_runner
 from repro.engine.jobs import (
+    CampaignJob,
     CampaignPlan,
     OutcomeRecord,
+    TransientJob,
     plan_jobs,
     plan_transient_jobs,
 )
 from repro.engine.schedulers import KNOWN_SCHEDULERS, make_scheduler
+from repro.obs.clock import utc_isoformat, wallclock
 from repro.obs.events import EventLog
 from repro.obs.telemetry import TELEMETRY, Span
+
+if TYPE_CHECKING:
+    from repro.store import CampaignStore
 
 #: Progress callback: (completed jobs, total jobs, outcome just finished).
 ProgressCallback = Callable[[int, int, InjectionOutcome], None]
@@ -364,7 +379,7 @@ class CampaignEngine:
             fault_models if fault_models is not None else self.config.fault_models
         )
 
-    def _transient_meta(self) -> dict:
+    def _transient_meta(self) -> Dict[str, Any]:
         """Window parameters of a transient campaign — the one definition
         both the content key (:meth:`store_key`) and the stored
         configuration (``begin_campaign``) are built from."""
@@ -376,7 +391,7 @@ class CampaignEngine:
 
     def _plan_job_list(
         self, models: Tuple[FaultModel, ...], site_list: List[FaultSite]
-    ):
+    ) -> List[CampaignJob]:
         """Expand the site sample into the canonical job list.
 
         Transient planning samples start times from the golden run's length
@@ -385,7 +400,7 @@ class CampaignEngine:
         """
         config = self.config
         if not config.transient:
-            return plan_jobs(site_list, models, self.program.name)
+            return list(plan_jobs(site_list, models, self.program.name))
         if not site_list:
             raise ValueError(
                 f"transient campaigns inject into storage cells only, and "
@@ -399,14 +414,14 @@ class CampaignEngine:
             if getattr(self.backend, "transient_unit", "cycles") == "cycles"
             else golden.instructions
         )
-        return plan_transient_jobs(
+        return list(plan_transient_jobs(
             site_list,
             horizon=horizon,
             windows=config.transient_windows,
             duration=config.transient_duration,
             seed=config.seed,
             workload=self.program.name,
-        )
+        ))
 
     def plan(
         self,
@@ -451,7 +466,9 @@ class CampaignEngine:
         if config.transient:
             jobs = self._plan_job_list(models, site_list)
             transient = dict(self._transient_meta())
-            transient["jobs"] = [transient_token(job) for job in jobs]
+            transient["jobs"] = [
+                transient_token(cast(TransientJob, job)) for job in jobs
+            ]
         return campaign_key(
             program=self.program,
             sites=site_list,
@@ -471,7 +488,7 @@ class CampaignEngine:
         fault_models: Optional[Sequence[FaultModel]] = None,
         sites: Optional[Sequence[FaultSite]] = None,
         progress: Optional[ProgressCallback] = None,
-        store=None,
+        store: Optional["CampaignStore"] = None,
     ) -> Dict[FaultModel, CampaignResult]:
         """Execute the campaign and aggregate per-fault-model results.
 
@@ -569,7 +586,7 @@ class CampaignEngine:
 
     def _run_stored(
         self,
-        store,
+        store: "CampaignStore",
         fault_models: Optional[Sequence[FaultModel]],
         sites: Optional[Sequence[FaultSite]],
         progress: Optional[ProgressCallback],
@@ -596,7 +613,9 @@ class CampaignEngine:
             backend_name=self.backend.name,
             backend_factory=self.backend_factory,
             total_jobs=len(jobs),
-            transient_jobs=jobs if config.transient else None,
+            transient_jobs=(
+                cast(List[TransientJob], jobs) if config.transient else None
+            ),
             transient_config=self._transient_meta() if config.transient else None,
         )
         if not config.resume:
@@ -710,7 +729,7 @@ class CampaignEngine:
             session.put_manifest(self._build_manifest(span))
         return results
 
-    def _build_manifest(self, span: Span) -> dict:
+    def _build_manifest(self, span: Span) -> Dict[str, Any]:
         """This run's manifest: merged metrics + environment + wall clock.
 
         Persisted by the durable path as a result-transparent artifact
@@ -720,9 +739,7 @@ class CampaignEngine:
         config = self.config
         return {
             "manifest_version": 1,
-            "created_at": datetime.now(timezone.utc).isoformat(
-                timespec="seconds"
-            ),
+            "created_at": utc_isoformat(wallclock()),
             "wall_seconds": span.elapsed(),
             "environment": {
                 "python": platform.python_version(),
@@ -788,7 +805,7 @@ class CampaignEngine:
         fault_model: FaultModel,
         sites: Optional[Sequence[FaultSite]] = None,
         progress: Optional[ProgressCallback] = None,
-        store=None,
+        store: Optional["CampaignStore"] = None,
     ) -> CampaignResult:
         """Run the campaign for a single fault model."""
         return self.run(

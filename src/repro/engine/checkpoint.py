@@ -45,7 +45,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from repro.isa.instructions import INSTRUCTION_SET
 from repro.iss.fastpath import FastEmulator
@@ -54,6 +54,9 @@ from repro.iss.trace import ExecutionTrace
 from repro.rtl.faults import TransientFault
 
 from repro.engine.backend import ARCH_REGFILE_NET, RunResult
+
+if TYPE_CHECKING:
+    from repro.engine.lockstep import LockstepPackRunner
 from repro.obs.telemetry import TELEMETRY
 
 #: Starting rung spacing of the adaptive ladder (instructions).  Small enough
@@ -96,7 +99,7 @@ class Checkpoint:
     digest: str
     #: Backend-specific restore payload (see the fast engines'
     #: ``capture_state``/``restore_state``).
-    payload: dict
+    payload: Dict[str, Any]
     #: Off-core transactions emitted so far (prefix length into the golden
     #: stream; forks inherit exactly this prefix).
     txn_count: int
@@ -151,7 +154,7 @@ def _merge_tail_counts(
 def splice_golden_tail(
     ladder: CheckpointLadder,
     rung: Checkpoint,
-    transactions: list,
+    transactions: List[Any],
     counts: Dict[str, int],
 ) -> RunResult:
     """Complete an ISS fork whose state digest matched *rung*: splice the
@@ -211,8 +214,8 @@ class _CheckpointRunnerBase:
     """Shared ladder bookkeeping and fork statistics of the two runners."""
 
     def __init__(
-        self, backend, max_instructions: int, interval: Optional[int] = None
-    ):
+        self, backend: Any, max_instructions: int, interval: Optional[int] = None
+    ) -> None:
         if interval is not None and interval < 1:
             raise ValueError(f"checkpoint interval must be >= 1, got {interval}")
         self._backend = backend
@@ -313,7 +316,14 @@ class _CheckpointRunnerBase:
     def _record_ladder(self) -> CheckpointLadder:
         raise NotImplementedError
 
-    def _fork(self, ladder, rung, fault, budget, early_exit) -> RunResult:
+    def _fork(
+        self,
+        ladder: CheckpointLadder,
+        rung: Checkpoint,
+        fault: TransientFault,
+        budget: int,
+        early_exit: bool,
+    ) -> RunResult:
         raise NotImplementedError
 
 
@@ -327,7 +337,9 @@ class IssCheckpointRunner(_CheckpointRunnerBase):
     from-reset runs share one fault semantics by construction).
     """
 
-    def __init__(self, backend, max_instructions: int, interval: int):
+    def __init__(
+        self, backend: Any, max_instructions: int, interval: Optional[int]
+    ) -> None:
         super().__init__(backend, max_instructions, interval)
         self._emulator: Optional[FastEmulator] = None
         self._base_pages: Dict[int, bytes] = {}
@@ -359,7 +371,7 @@ class IssCheckpointRunner(_CheckpointRunnerBase):
                 txn_count=0, counts={},
             )
         ]
-        transactions: list = []
+        transactions: List[Any] = []
         counts: Dict[str, int] = {}
         executed = 0
         interval = self._start_interval()
@@ -388,7 +400,13 @@ class IssCheckpointRunner(_CheckpointRunnerBase):
             golden=golden, final_counts=dict(counts),
         )
 
-    def _package(self, transactions, counts, executed, final) -> RunResult:
+    def _package(
+        self,
+        transactions: List[Any],
+        counts: Dict[str, int],
+        executed: int,
+        final: Any,
+    ) -> RunResult:
         trap_kind = self._backend.normalize_trap_kind(final.trap)
         return RunResult(
             backend=self._backend.name,
@@ -401,8 +419,16 @@ class IssCheckpointRunner(_CheckpointRunnerBase):
             trap_kind=trap_kind,
         )
 
-    def _fork(self, ladder, rung, fault, budget, early_exit) -> RunResult:
+    def _fork(
+        self,
+        ladder: CheckpointLadder,
+        rung: Checkpoint,
+        fault: TransientFault,
+        budget: int,
+        early_exit: bool,
+    ) -> RunResult:
         emulator = self._emulator
+        assert emulator is not None  # _record_ladder ran before any fork
         arch_fault = self._backend._to_architectural(fault)
         emulator.restore_state(
             rung.payload, self._base_pages, rung.instructions, arch_fault
@@ -434,10 +460,16 @@ class IssCheckpointRunner(_CheckpointRunnerBase):
                 self.early_exits += 1
                 return self._splice(ladder, rungs[index], transactions, counts)
 
-    def _splice(self, ladder, rung, transactions, counts) -> RunResult:
+    def _splice(
+        self,
+        ladder: CheckpointLadder,
+        rung: Checkpoint,
+        transactions: List[Any],
+        counts: Dict[str, int],
+    ) -> RunResult:
         return splice_golden_tail(ladder, rung, transactions, counts)
 
-    def pack_runner(self, width: int):
+    def pack_runner(self, width: int) -> "LockstepPackRunner":
         """The lockstep pack runtime sharing this runner's golden ladder, so
         whole packs fork from the same rungs scalar forks use (and demoted
         replicas splice the same golden tail)."""
@@ -463,7 +495,7 @@ class RtlCheckpointRunner(_CheckpointRunnerBase):
         return self._core.native_site(fault.site)
 
     @property
-    def _core(self):
+    def _core(self) -> Any:
         return self._backend.core
 
     def _rung_time(self, rung: Checkpoint) -> int:
@@ -501,7 +533,7 @@ class RtlCheckpointRunner(_CheckpointRunnerBase):
             final_counts=dict(golden.trace.opcode_counts),
         )
 
-    def _package(self, native) -> RunResult:
+    def _package(self, native: Any) -> RunResult:
         return RunResult(
             backend=self._backend.name,
             transactions=native.transactions,
@@ -514,7 +546,14 @@ class RtlCheckpointRunner(_CheckpointRunnerBase):
             transaction_cycles=native.transaction_cycles,
         )
 
-    def _fork(self, ladder, rung, fault, budget, early_exit) -> RunResult:
+    def _fork(
+        self,
+        ladder: CheckpointLadder,
+        rung: Checkpoint,
+        fault: TransientFault,
+        budget: int,
+        early_exit: bool,
+    ) -> RunResult:
         core = self._core
         core.clear_faults()
         golden = ladder.golden
@@ -548,7 +587,13 @@ class RtlCheckpointRunner(_CheckpointRunnerBase):
         finally:
             core.clear_faults()
 
-    def _splice(self, ladder, rung, core, state) -> RunResult:
+    def _splice(
+        self,
+        ladder: CheckpointLadder,
+        rung: Checkpoint,
+        core: Any,
+        state: Any,
+    ) -> RunResult:
         golden = ladder.golden
         transactions = list(core.transactions)
         transactions.extend(golden.transactions[rung.txn_count :])
@@ -570,7 +615,7 @@ class RtlCheckpointRunner(_CheckpointRunnerBase):
 
 
 def make_checkpoint_runner(
-    backend,
+    backend: Any,
     max_instructions: int,
     interval: Optional[int] = None,
 ) -> Optional[_CheckpointRunnerBase]:

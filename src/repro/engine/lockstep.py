@@ -98,7 +98,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.isa.ccodes import ConditionCodes, evaluate_condition
 from repro.isa.decoder import DecodeError
@@ -117,7 +117,7 @@ from repro.engine.checkpoint import (
     splice_golden_tail,
     trace_from_counts,
 )
-from repro.obs.telemetry import TELEMETRY
+from repro.obs.telemetry import TELEMETRY, TelemetryRegistry
 
 __all__ = [
     "LockstepPackRunner",
@@ -134,6 +134,11 @@ _PLAIN_STORES = frozenset({"st", "stb", "sth"})
 #: memory word — ``_MEM_KEY_BASE + aligned word address``, disjoint from
 #: every register slot index.
 _Key = Union[int, str]
+
+#: The memory split of one load/store op — ``(address_regs, data_regs,
+#: is_store, is_double)`` — in architectural-register form
+#: (:func:`_arch_effects`) or physical-slot form (:class:`_EffectsCache`).
+_MemInfo = Tuple[Tuple[_Key, ...], Tuple[_Key, ...], bool, bool]
 
 _MEM_KEY_BASE = 0x1_0000_0000
 
@@ -185,7 +190,11 @@ PROPAGATION_BUDGET = 48
 _UNCONDITIONAL_CONDS = (0x0, 0x8)
 
 
-def _arch_effects(op) -> Tuple[tuple, tuple, Optional[str], bool, Optional[tuple]]:
+def _arch_effects(
+    op: Any,
+) -> Tuple[
+    Tuple[_Key, ...], Tuple[_Key, ...], Optional[str], bool, Optional[_MemInfo]
+]:
     """Architectural input/output sets of one cached op.
 
     Returns ``(inputs, outputs, window_shift, propagatable, memory)``.
@@ -249,8 +258,8 @@ def _arch_effects(op) -> Tuple[tuple, tuple, Optional[str], bool, Optional[tuple
                 (address_regs, (), False, False))
     # Every remaining opcode dispatches through the ALU table (unimplemented
     # ALU semantics trap in the handler, which a golden replay never reaches).
-    inputs: tuple = (op.rs1,) + rs2
-    outputs: tuple = (op.rd,)
+    inputs: Tuple[_Key, ...] = (op.rs1,) + rs2
+    outputs: Tuple[_Key, ...] = (op.rd,)
     if handler in _ICC_READERS:
         inputs += ("icc",)
     if handler in _Y_READERS:
@@ -274,12 +283,12 @@ class _EffectsCache:
     an ``id()`` can never be reused while its memo entry is alive.
     """
 
-    def __init__(self, registers):
+    def __init__(self, registers: Any) -> None:
         self._registers = registers
         self._nwindows = registers.nwindows
-        self._by_op: Dict[int, tuple] = {}
+        self._by_op: Dict[int, Tuple[Any, List[Any]]] = {}
 
-    def _slots(self, keys: tuple, cwp: int) -> Tuple[_Key, ...]:
+    def _slots(self, keys: Tuple[_Key, ...], cwp: int) -> Tuple[_Key, ...]:
         physical_index = self._registers._physical_index
         out: List[_Key] = []
         for key in keys:
@@ -293,8 +302,8 @@ class _EffectsCache:
         return tuple(out)
 
     def get(
-        self, op, cwp: int
-    ) -> Tuple[Tuple[_Key, ...], Tuple[_Key, ...], bool, Optional[tuple],
+        self, op: Any, cwp: int
+    ) -> Tuple[Tuple[_Key, ...], Tuple[_Key, ...], bool, Optional[_MemInfo],
                Tuple[_Key, ...]]:
         entry = self._by_op.get(id(op))
         if entry is None:
@@ -382,7 +391,7 @@ class PackOutcome:
     resolution: str
     #: ``capture_state`` payload of the replica's final architectural and
     #: timing state (only with ``capture_final_state=True``).
-    final_state: Optional[dict] = None
+    final_state: Optional[Dict[str, Any]] = None
 
 
 class LockstepPackRunner:
@@ -399,11 +408,11 @@ class LockstepPackRunner:
 
     def __init__(
         self,
-        backend,
+        backend: Any,
         max_instructions: int,
         width: int,
         ladder: Optional[CheckpointLadder] = None,
-    ):
+    ) -> None:
         if width < 1:
             raise ValueError(f"lockstep width must be >= 1, got {width}")
         program = backend.program
@@ -439,9 +448,9 @@ class LockstepPackRunner:
         self._golden_result: Optional[RunResult] = (
             ladder.golden if ladder is not None else None
         )
-        self._golden_final: Optional[dict] = None
+        self._golden_final: Optional[Dict[str, Any]] = None
         # Sweep-local accumulators (reset per pack).
-        self._transactions: List = []
+        self._transactions: List[Any] = []
         self._counts: Dict[str, int] = {}
         self._pending: Dict[str, int] = {}
         self._executed = 0
@@ -563,7 +572,7 @@ class LockstepPackRunner:
         effects = self._effects
         timeline: Dict[_Key, List[int]] = {}
         timeline_get = timeline.get
-        scratch: List = []
+        scratch: List[Any] = []
         executed = 0
         budget = self._max_instructions
         while executed < budget:
@@ -626,7 +635,14 @@ class LockstepPackRunner:
     # -- packaging ----------------------------------------------------------------
 
     def _package(
-        self, transactions, counts, executed, cycles, halted, exit_code, trap
+        self,
+        transactions: Sequence[Any],
+        counts: Dict[str, int],
+        executed: int,
+        cycles: int,
+        halted: bool,
+        exit_code: Optional[int],
+        trap: Optional[TrapEvent],
     ) -> RunResult:
         return RunResult(
             backend=self._backend.name,
@@ -639,7 +655,7 @@ class LockstepPackRunner:
             trap_kind=self._backend.normalize_trap_kind(trap),
         )
 
-    def _golden_final_payload(self) -> dict:
+    def _golden_final_payload(self) -> Dict[str, Any]:
         """Final-state capture of the golden run (for replicas that resolve
         onto the golden trajectory), recorded lazily on the demotion emulator
         so the leader's sweep position is never disturbed."""
@@ -656,7 +672,9 @@ class LockstepPackRunner:
             self._golden_final = emulator.capture_state(self._base_pages)
         return self._golden_final
 
-    def _payload_with_delta(self, payload: dict, delta: Dict[_Key, int]) -> dict:
+    def _payload_with_delta(
+        self, payload: Dict[str, Any], delta: Dict[_Key, int]
+    ) -> Dict[str, Any]:
         if not delta:
             return payload
         patched = dict(payload)
@@ -673,7 +691,9 @@ class LockstepPackRunner:
                 patched["windows"][slot - NUM_GLOBALS] = value
         return patched
 
-    def _payload_with_replica(self, payload: dict, replica: _Replica) -> dict:
+    def _payload_with_replica(
+        self, payload: Dict[str, Any], replica: _Replica
+    ) -> Dict[str, Any]:
         """*payload* with the replica's register **and** memory deltas
         patched in — the replica's full ``capture_state`` equivalent."""
         patched = self._payload_with_delta(payload, replica.delta)
@@ -700,19 +720,21 @@ class LockstepPackRunner:
         """The golden result with the replica's divergent store transactions
         patched in — exactly the observable stream its from-reset run emits
         (same control flow, counts, cycles and exit, different store data)."""
+        golden = self._golden_result
+        assert golden is not None  # riders resolve only after golden packaging
         if not replica.txn_patches:
-            return self._golden_result
-        transactions = list(self._golden_result.transactions)
+            return golden
+        transactions = list(golden.transactions)
         for index, txn in replica.txn_patches.items():
             transactions[index] = txn
-        return replace(self._golden_result, transactions=transactions)
+        return replace(golden, transactions=transactions)
 
     # -- demotion to the scalar fast path -----------------------------------------
 
     def _demote(
         self,
         replica: _Replica,
-        leader_capture: dict,
+        leader_capture: Dict[str, Any],
         budget: int,
         early_exit: bool,
         capture_final: bool,
@@ -776,6 +798,7 @@ class LockstepPackRunner:
                 and rungs[index].instructions == executed
                 and emulator.state_digest(self._base_pages) == rungs[index].digest
             ):
+                assert ladder is not None  # interval is set only with a ladder
                 self.demoted_splices += 1
                 run_result = splice_golden_tail(
                     ladder, rungs[index], transactions, counts
@@ -820,7 +843,7 @@ class LockstepPackRunner:
 
     def _propagate_outputs(
         self,
-        op,
+        op: Any,
         pc: int,
         touched: List[_Replica],
         input_slots: Tuple[_Key, ...],
@@ -850,7 +873,7 @@ class LockstepPackRunner:
         saved_icc = leader.icc
         saved_y = leader.y_register
         handler = op.handler
-        scratch: List = []
+        scratch: List[Any] = []
         results: Dict[_Replica, Dict[_Key, int]] = {}
         for replica in touched:
             delta = replica.delta
@@ -879,7 +902,7 @@ class LockstepPackRunner:
         return results
 
     def _replica_load_outputs(
-        self, replica: _Replica, op, address: int, cwp: int
+        self, replica: _Replica, op: Any, address: int, cwp: int
     ) -> Dict[_Key, int]:
         """The destination values a touched replica loads at *address*.
 
@@ -917,7 +940,7 @@ class LockstepPackRunner:
         return outs
 
     def _replica_store_effects(
-        self, replica: _Replica, op, address: int, cwp: int
+        self, replica: _Replica, op: Any, address: int, cwp: int
     ) -> Tuple[Tuple[int, ...], Tuple[OffCoreTransaction, ...]]:
         """The memory words and transactions a touched replica's store
         produces at *address* — computed against the pre-store image, before
@@ -950,7 +973,7 @@ class LockstepPackRunner:
 
     # -- leader fast-forward ------------------------------------------------------
 
-    def _fast_forward(self, target: int):
+    def _fast_forward(self, target: int) -> Optional[Any]:
         """Advance the quiescent pack to *target* executed instructions (or
         the golden end, whichever comes first): restore the latest usable
         golden rung — forking the whole pack from the checkpoint in one
@@ -1004,6 +1027,7 @@ class LockstepPackRunner:
         self.packs += 1
         self.replicas += len(faults)
         telemetry = TELEMETRY if TELEMETRY.enabled else None
+        stats_before: Optional[Tuple[int, int, Dict[str, int]]] = None
         if telemetry is not None:
             stats_before = (
                 self.propagations,
@@ -1146,7 +1170,7 @@ class LockstepPackRunner:
                 leader.timing.cycles, halted_flag, exit_code, halt_trap,
             )
         riders = [replica for replica in replicas if replica.outcome is None]
-        leader_final: Optional[dict] = None
+        leader_final: Optional[Dict[str, Any]] = None
         if capture_final_state and riders and (
             halted_flag or self._executed >= self._max_instructions
         ):
@@ -1176,19 +1200,24 @@ class LockstepPackRunner:
             replica.outcome = PackOutcome(
                 self._rider_result(replica), resolution, final
             )
+        outcomes: List[PackOutcome] = []
         for replica in replicas:
             outcome = replica.outcome
+            assert outcome is not None  # every sweep path above resolved it
             if outcome.result is None:
                 outcome.result = self._golden_result
             if capture_final_state and outcome.final_state is None:
                 outcome.final_state = self._golden_final_payload()
-        outcomes = [replica.outcome for replica in replicas]
-        if telemetry is not None:
+            outcomes.append(outcome)
+        if telemetry is not None and stats_before is not None:
             self._record_pack_telemetry(telemetry, stats_before, outcomes)
         return outcomes
 
     def _record_pack_telemetry(
-        self, telemetry, stats_before, outcomes: List[PackOutcome]
+        self,
+        telemetry: TelemetryRegistry,
+        stats_before: Tuple[int, int, Dict[str, int]],
+        outcomes: List[PackOutcome],
     ) -> None:
         """Fold this pack's stat deltas into the telemetry registry.
 
@@ -1294,7 +1323,7 @@ class LockstepPackRunner:
         #    way the deltas cannot carry).
         inputs, outputs, propagatable, memory, _ = self._effects.get(op, cwp)
         propagated: Optional[Dict[_Replica, Dict[_Key, int]]] = None
-        store_pending: Optional[list] = None
+        store_pending: Optional[List[Any]] = None
         store_keys: Tuple[int, ...] = ()
         if live_slots:
             touched: List[_Replica] = []
@@ -1593,10 +1622,10 @@ class LockstepPackRunner:
 
 
 def make_pack_runner(
-    backend,
+    backend: Any,
     max_instructions: int,
     width: int,
-    runner=None,
+    runner: Optional[Any] = None,
 ) -> Optional[LockstepPackRunner]:
     """Build the lockstep pack runtime for *backend*, or ``None`` when packs
     cannot help: width 1 (the scalar path *is* the pack of one), non-ISS

@@ -27,7 +27,18 @@ bit-identical to the scalar path, so the outcome stream is unchanged
 from __future__ import annotations
 
 import multiprocessing
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+    cast,
+)
 
 from repro.faultinjection.comparison import compare_runs
 
@@ -37,6 +48,11 @@ from repro.engine.jobs import CampaignJob, CampaignPlan, OutcomeRecord, Transien
 from repro.engine.lockstep import make_pack_runner
 from repro.obs.events import EventLog
 from repro.obs.telemetry import TELEMETRY
+
+if TYPE_CHECKING:
+    from repro.engine.checkpoint import _CheckpointRunnerBase
+    from repro.engine.lockstep import LockstepPackRunner
+    from repro.isa.assembler import Program
 
 OutcomeCallback = Callable[[OutcomeRecord], None]
 
@@ -50,7 +66,7 @@ def execute_job(
     golden: RunResult,
     budget: int,
     job: CampaignJob,
-    runner=None,
+    runner: Optional["_CheckpointRunnerBase"] = None,
     early_exit: bool = True,
 ) -> OutcomeRecord:
     """Run one injection job on *backend* and classify it against *golden*.
@@ -115,7 +131,7 @@ def execute_pack(
     golden: RunResult,
     budget: int,
     pack_jobs: Sequence[CampaignJob],
-    pack_runner,
+    pack_runner: "LockstepPackRunner",
     early_exit: bool = True,
 ) -> List[OutcomeRecord]:
     """Run one pack of jobs through the lockstep runtime and classify each
@@ -149,7 +165,9 @@ def execute_pack(
     return records
 
 
-def plan_runner(plan: CampaignPlan, backend: ExecutionBackend):
+def plan_runner(
+    plan: CampaignPlan, backend: ExecutionBackend
+) -> Optional["_CheckpointRunnerBase"]:
     """The checkpoint runner for *plan*'s transient jobs (``None`` for
     permanent plans or backends without snapshot support).  Reuses the
     planner's runner when the plan carries one — its ladder recording was
@@ -157,7 +175,7 @@ def plan_runner(plan: CampaignPlan, backend: ExecutionBackend):
     if not plan.transient:
         return None
     if plan.runner is not None:
-        return plan.runner
+        return cast("_CheckpointRunnerBase", plan.runner)
     return make_checkpoint_runner(
         backend, plan.max_instructions, plan.checkpoint_interval
     )
@@ -213,12 +231,12 @@ class SerialScheduler:
 # the Pool initializer; only small picklable objects (the backend factory, the
 # program, job batches, outcome records) ever cross the process boundary.
 
-_WORKER: Dict[str, object] = {}
+_WORKER: Dict[str, object] = {}  # reprolint: worker-state
 
 
 def _init_worker(
-    backend_factory,
-    program,
+    backend_factory: Callable[[], ExecutionBackend],
+    program: "Program",
     max_instructions: int,
     transient: bool = False,
     checkpoint_interval: Optional[int] = None,
@@ -238,7 +256,7 @@ def _init_worker(
             TELEMETRY.events = EventLog(trace_path)
     backend: ExecutionBackend = backend_factory()
     backend.prepare(program)
-    runner = None
+    runner: Optional["_CheckpointRunnerBase"] = None
     if transient:
         runner = make_checkpoint_runner(
             backend, max_instructions, checkpoint_interval
@@ -266,7 +284,7 @@ def _init_worker(
 
 def _run_batch(
     jobs: Sequence[CampaignJob],
-) -> Tuple[List[OutcomeRecord], Optional[dict]]:
+) -> Tuple[List[OutcomeRecord], Optional[Dict[str, Any]]]:
     """Execute one batch in this worker; returns the outcome records plus a
     snapshot-and-reset of the worker's telemetry registry (``None`` when
     telemetry is off), so successive batches ship disjoint metric deltas the
@@ -274,9 +292,11 @@ def _run_batch(
     backend: ExecutionBackend = _WORKER["backend"]  # type: ignore[assignment]
     golden: RunResult = _WORKER["golden"]  # type: ignore[assignment]
     budget: int = _WORKER["budget"]  # type: ignore[assignment]
-    runner = _WORKER.get("runner")
+    runner = cast("Optional[_CheckpointRunnerBase]", _WORKER.get("runner"))
     early_exit: bool = _WORKER.get("early_exit", True)  # type: ignore[assignment]
-    pack_runner = _WORKER.get("pack_runner")
+    pack_runner = cast(
+        "Optional[LockstepPackRunner]", _WORKER.get("pack_runner")
+    )
     if pack_runner is not None:
         records = [
             record
@@ -368,7 +388,7 @@ def make_scheduler(
     scheduler: Optional[str] = None,
     n_workers: int = 1,
     chunk_size: Optional[int] = None,
-):
+) -> Union[SerialScheduler, MultiprocessingScheduler]:
     """Resolve a scheduler from a name plus a worker count.
 
     ``None`` auto-selects: serial for one worker, multiprocessing otherwise.

@@ -263,7 +263,7 @@ class Assembler:
 
     def _layout_data(self, items: List[Tuple[str, int, int]]) -> bytes:
         chunks: List[bytes] = []
-        for kind, value, size in items:
+        for _kind, value, size in items:
             mask_bits = size * 8
             chunks.append((value & ((1 << mask_bits) - 1)).to_bytes(size, "big"))
         return b"".join(chunks)
@@ -338,7 +338,13 @@ class Assembler:
             return self._encode_inner(mnemonic, operands, stmt, symbols)
         except AssemblyError:
             raise
-        except Exception as exc:
+        except (KeyError, IndexError, ValueError, OverflowError) as exc:
+            # The concrete ways malformed source escapes _encode_inner without
+            # its own AssemblyError: unknown mnemonic/register table lookups
+            # (KeyError), missing operands (IndexError), unparsable immediates
+            # (ValueError), and encoding-field range overflow (OverflowError).
+            # Anything else — a TypeError, an AttributeError — is an assembler
+            # bug and must surface as itself, not masquerade as bad input.
             raise AssemblyError(
                 f"cannot encode {mnemonic} {', '.join(operands)}: {exc}",
                 stmt.line_number,

@@ -1,0 +1,117 @@
+"""Committed baselines: grandfathered findings that do not fail the build.
+
+A baseline is a JSON file listing finding fingerprints (file + rule +
+message, no line numbers) that existed when the rule landed.  ``repro
+lint`` subtracts the baseline from its findings, so a rule can be
+introduced strictly — any *new* violation fails — while pre-existing ones
+are burned down over time.  Fingerprints are counted: two identical
+grandfathered findings in one file need two baseline entries, so fixing
+one of them and adding another elsewhere cannot cancel out.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.lint.diagnostics import Finding
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+#: Default baseline file name, resolved against the lint root.
+DEFAULT_BASELINE_NAME = ".reprolint-baseline.json"
+
+_Fingerprint = Tuple[str, str, str]
+
+
+class BaselineError(RuntimeError):
+    """Raised for unreadable or malformed baseline files."""
+
+
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, counts: Dict[_Fingerprint, int]) -> None:
+        self._counts = dict(counts)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({})
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        counts: Dict[_Fingerprint, int] = {}
+        for finding in findings:
+            key = finding.fingerprint()
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        path = Path(path)
+        if not path.exists():
+            return cls.empty()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise BaselineError(
+                f"malformed baseline {path}: expected an object with a "
+                f"'findings' list"
+            )
+        counts: Dict[_Fingerprint, int] = {}
+        for entry in payload["findings"]:
+            try:
+                key = (entry["file"], entry["rule"], entry["message"])
+                count = int(entry.get("count", 1))
+            except (TypeError, KeyError) as exc:
+                raise BaselineError(
+                    f"malformed baseline entry in {path}: {entry!r}"
+                ) from exc
+            counts[key] = counts.get(key, 0) + count
+        return cls(counts)
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Write the baseline file (sorted, one entry per fingerprint)."""
+        entries: List[Dict[str, object]] = []
+        for (file, rule, message), count in sorted(self._counts.items()):
+            entry: Dict[str, object] = {
+                "file": file,
+                "rule": rule,
+                "message": message,
+            }
+            if count != 1:
+                entry["count"] = count
+            entries.append(entry)
+        payload = {"version": BASELINE_VERSION, "findings": entries}
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+    def filter(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split *findings* into (fresh, baselined).
+
+        Consumes baseline entries as it matches, so N grandfathered
+        occurrences absorb at most N findings with that fingerprint.
+        """
+        remaining = dict(self._counts)
+        fresh: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            key = finding.fingerprint()
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined.append(finding)
+            else:
+                fresh.append(finding)
+        return fresh, baselined

@@ -1,0 +1,140 @@
+"""``repro lint`` — the command-line front end of reprolint.
+
+.. code-block:: console
+
+    repro lint                        # lint src/repro, text diagnostics
+    repro lint --format json          # machine-readable (the CI mode)
+    repro lint src/repro/engine       # lint a subtree
+    repro lint --write-baseline       # grandfather the current findings
+
+Exit codes: 0 clean (baselined findings do not fail), 1 fresh findings,
+2 usage or input errors (unreadable/unparsable files, bad baselines).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    BaselineError,
+)
+from repro.lint.engine import LintError, LintReport, lint_paths
+from repro.lint.rules import ALL_RULES
+
+
+def add_lint_parser(commands: argparse._SubParsersAction) -> None:
+    """Register the ``lint`` subcommand on the ``repro`` CLI."""
+    rule_ids = ", ".join(rule.rule_id for rule in ALL_RULES)
+    lint = commands.add_parser(
+        "lint",
+        help="determinism & result-transparency static analysis (reprolint)",
+        description=f"Run the reprolint rules ({rule_ids}) over the source "
+        f"tree; see docs/determinism.md for the invariants they enforce.",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        metavar="PATH",
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="diagnostic output format (default: text)",
+    )
+    lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help=f"baseline file of grandfathered findings "
+        f"(default: {DEFAULT_BASELINE_NAME} in the working directory)",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline file (report grandfathered findings too)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to the baseline file and exit 0",
+    )
+    lint.set_defaults(handler=cmd_lint)
+
+
+def _default_paths() -> List[str]:
+    candidate = Path("src") / "repro"
+    if candidate.is_dir():
+        return [str(candidate)]
+    raise LintError(
+        "no paths given and ./src/repro does not exist; pass the files or "
+        "directories to lint"
+    )
+
+
+def _render_text(report: LintReport, stream) -> None:
+    for finding in report.findings:
+        print(finding.render(), file=stream)
+    summary = (
+        f"reprolint: {len(report.findings)} finding"
+        f"{'' if len(report.findings) == 1 else 's'} "
+        f"in {report.files_scanned} files"
+    )
+    details = []
+    if report.baselined:
+        details.append(f"{len(report.baselined)} baselined")
+    if report.suppressed:
+        details.append(f"{report.suppressed} suppressed inline")
+    if details:
+        summary += f" ({', '.join(details)})"
+    print(summary, file=stream)
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    try:
+        paths = list(args.paths) or _default_paths()
+        baseline_path = (
+            Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE_NAME)
+        )
+        if args.write_baseline:
+            report = lint_paths(paths)
+            Baseline.from_findings(report.findings).save(baseline_path)
+            print(
+                f"reprolint: wrote {len(report.findings)} grandfathered "
+                f"finding(s) to {baseline_path}"
+            )
+            return 0
+        baseline = (
+            Baseline.empty()
+            if args.no_baseline
+            else Baseline.load(baseline_path)
+        )
+        report = lint_paths(paths, baseline=baseline)
+    except (LintError, BaselineError) as exc:
+        print(f"repro lint: error: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        _render_text(report, sys.stdout)
+    return report.exit_code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint.cli``)."""
+    parser = argparse.ArgumentParser(prog="repro-lint")
+    commands = parser.add_subparsers(dest="command", required=True)
+    add_lint_parser(commands)
+    args = parser.parse_args(["lint"] + list(argv or sys.argv[1:]))
+    return cmd_lint(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

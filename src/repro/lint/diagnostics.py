@@ -1,0 +1,42 @@
+"""Finding objects and their canonical renderings.
+
+A :class:`Finding` is one diagnostic: a rule identifier, a position and a
+message.  Its :meth:`~Finding.fingerprint` deliberately excludes the line
+and column — baselines match grandfathered findings by *what* they say and
+*where they live* (file + rule + message), so unrelated edits that shift
+line numbers do not resurrect suppressed findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One lint diagnostic, ordered by position for stable output."""
+
+    file: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        """The ``file:line:col: RXXX message`` diagnostic line."""
+        return f"{self.file}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def fingerprint(self) -> Tuple[str, str, str]:
+        """Baseline identity: position-independent (file, rule, message)."""
+        return (self.file, self.rule, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form (the ``repro lint --format json`` schema)."""
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }

@@ -12,6 +12,7 @@ default and the instrumented hot loops fold their counts in at pack/job
 boundaries, so the disabled path costs nothing measurable.
 """
 
+from repro.obs.clock import utc_isoformat, wallclock
 from repro.obs.events import EventLog, export_chrome_trace, sidecar_paths
 from repro.obs.telemetry import (
     TELEMETRY,
@@ -38,4 +39,6 @@ __all__ = [
     "series_name",
     "sidecar_paths",
     "split_series_name",
+    "utc_isoformat",
+    "wallclock",
 ]

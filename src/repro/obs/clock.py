@@ -1,0 +1,41 @@
+"""The one registered wall-clock symbol of the framework.
+
+Everything a campaign *computes* must be a pure function of its inputs —
+the determinism contract reprolint's R001 enforces statically.  Wall-clock
+timestamps are still wanted on result-transparent artifacts (store rows,
+run manifests, trace clock-sync lines), so exactly one symbol is allowed
+to read the clock: :func:`wallclock`.  Routing every read through it keeps
+R001's allowlist a single name, and makes any new timestamp an explicit,
+reviewable decision instead of a stray ``time.time()`` that might leak
+into a store key.
+
+:func:`utc_isoformat` is the deliberately *pure* companion: it formats a
+given epoch timestamp, so call sites read ``utc_isoformat(wallclock())``
+and the nondeterminism stays visible at the call site.
+"""
+
+from __future__ import annotations
+
+import time
+from datetime import datetime, timezone
+
+__all__ = ["wallclock", "utc_isoformat"]
+
+
+def wallclock() -> float:
+    """Seconds since the Unix epoch — the framework's only wall-clock read.
+
+    Results never depend on this value: it stamps result-transparent
+    artifacts only (manifest ``created_at``, store row timestamps, trace
+    ``clock_sync`` lines).  reprolint R001 flags any other wall-clock read
+    in the ``repro`` tree.
+    """
+    return time.time()
+
+
+def utc_isoformat(seconds: float) -> str:
+    """ISO-8601 UTC rendering of an epoch timestamp (pure; second
+    precision, the store's timestamp format)."""
+    return datetime.fromtimestamp(seconds, timezone.utc).isoformat(
+        timespec="seconds"
+    )

@@ -27,7 +27,9 @@ import glob
 import json
 import os
 import time
-from typing import List, Optional
+from typing import Any, Dict, List, Optional, TextIO
+
+from repro.obs.clock import wallclock
 
 __all__ = ["EventLog", "sidecar_paths", "export_chrome_trace"]
 
@@ -43,23 +45,29 @@ class EventLog:
     def __init__(self, path: str) -> None:
         #: The requested base path; this process appends to ``path.<pid>``.
         self.path = path
-        self._handle = None
+        self._handle: Optional[TextIO] = None
 
-    def _open(self):
+    def _open(self) -> TextIO:
         handle = open(f"{self.path}.{os.getpid()}", "a", encoding="utf-8")
         sync = {
             "name": "clock_sync",
-            "wall_time": time.time(),
+            "wall_time": wallclock(),
             "perf_counter": time.perf_counter(),
             "pid": os.getpid(),
         }
         handle.write(json.dumps(sync) + "\n")
         return handle
 
-    def emit_span(self, name, start, seconds, labels=None) -> None:
+    def emit_span(
+        self,
+        name: str,
+        start: float,
+        seconds: float,
+        labels: Optional[Dict[str, object]] = None,
+    ) -> None:
         if self._handle is None:
             self._handle = self._open()
-        event = {
+        event: Dict[str, Any] = {
             "name": name,
             "ts": start,
             "dur": seconds,
@@ -69,7 +77,9 @@ class EventLog:
             event["args"] = dict(labels)
         self._handle.write(json.dumps(event) + "\n")
 
-    def emit_instant(self, name, labels=None) -> None:
+    def emit_instant(
+        self, name: str, labels: Optional[Dict[str, object]] = None
+    ) -> None:
         """A zero-duration marker (checkpoint splice, store commit point)."""
         self.emit_span(name, time.perf_counter(), 0.0, labels)
 
@@ -84,8 +94,8 @@ def sidecar_paths(path: str) -> List[str]:
     return sorted(glob.glob(f"{glob.escape(path)}.*"))
 
 
-def _load_events(sidecar: str) -> List[dict]:
-    events = []
+def _load_events(sidecar: str) -> List[Dict[str, Any]]:
+    events: List[Dict[str, Any]] = []
     with open(sidecar, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -95,7 +105,9 @@ def _load_events(sidecar: str) -> List[dict]:
 
 
 def export_chrome_trace(
-    trace_path: str, out_path: str, process_names: Optional[dict] = None
+    trace_path: str,
+    out_path: str,
+    process_names: Optional[Dict[int, str]] = None,
 ) -> int:
     """Merge the sidecars of *trace_path* into one Chrome trace event file.
 
@@ -109,8 +121,8 @@ def export_chrome_trace(
     if not sidecars:
         raise FileNotFoundError(f"no trace sidecars found for {trace_path!r}")
 
-    trace_events = []
-    pids = []
+    trace_events: List[Dict[str, Any]] = []
+    pids: List[int] = []
     count = 0
     for sidecar in sidecars:
         offset = None
@@ -139,8 +151,8 @@ def export_chrome_trace(
             )
             count += 1
 
-    trace_events.sort(key=lambda event: event["ts"])
-    metadata = []
+    trace_events.sort(key=lambda event: float(event["ts"]))
+    metadata: List[Dict[str, Any]] = []
     for index, pid in enumerate(sorted(pids)):
         if process_names and pid in process_names:
             label = process_names[pid]

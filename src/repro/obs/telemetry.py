@@ -37,7 +37,10 @@ always addresses the same series.
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional, Tuple, Union
+
+if TYPE_CHECKING:
+    from repro.obs.events import EventLog
 
 __all__ = [
     "Counter",
@@ -64,12 +67,12 @@ def series_name(name: str, labels: Optional[Dict[str, object]] = None) -> str:
     return f"{name}{{{rendered}}}"
 
 
-def split_series_name(series: str) -> tuple:
+def split_series_name(series: str) -> Tuple[str, Dict[str, str]]:
     """Invert :func:`series_name`: ``(base name, {label: value})``."""
     if not series.endswith("}") or "{" not in series:
         return series, {}
     base, _, raw = series.partition("{")
-    labels = {}
+    labels: Dict[str, str] = {}
     for pair in raw[:-1].split(","):
         key, _, value = pair.partition("=")
         labels[key] = value
@@ -82,9 +85,9 @@ class Counter:
     __slots__ = ("value",)
 
     def __init__(self) -> None:
-        self.value = 0
+        self.value: float = 0
 
-    def inc(self, amount: int = 1) -> None:
+    def inc(self, amount: float = 1) -> None:
         self.value += amount
 
 
@@ -94,13 +97,13 @@ class Gauge:
     __slots__ = ("value",)
 
     def __init__(self) -> None:
-        self.value = 0
+        self.value: float = 0
 
-    def set(self, value) -> None:
+    def set(self, value: float) -> None:
         self.value = value
 
 
-def bucket_bound(value) -> object:
+def bucket_bound(value: float) -> Union[int, str]:
     """The power-of-two upper bound bucket *value* falls into.
 
     Buckets are ``value <= 2**k`` for the smallest such ``k`` (``0`` has its
@@ -131,12 +134,12 @@ class Histogram:
 
     def __init__(self) -> None:
         self.count = 0
-        self.total = 0
+        self.total: float = 0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
-        self.buckets: Dict[object, int] = {}
+        self.buckets: Dict[Union[int, str], int] = {}
 
-    def observe(self, value) -> None:
+    def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
         if self.min is None or value < self.min:
@@ -150,7 +153,7 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> Dict[str, Any]:
         return {
             "count": self.count,
             "total": self.total,
@@ -163,7 +166,7 @@ class Histogram:
             )},
         }
 
-    def merge_dict(self, payload: dict) -> None:
+    def merge_dict(self, payload: Dict[str, Any]) -> None:
         count = payload["count"]
         if not count:
             return
@@ -198,7 +201,12 @@ class Span:
 
     __slots__ = ("registry", "name", "labels", "start", "seconds")
 
-    def __init__(self, registry: "TelemetryRegistry", name: str, labels):
+    def __init__(
+        self,
+        registry: "TelemetryRegistry",
+        name: str,
+        labels: Optional[Dict[str, object]],
+    ) -> None:
         self.registry = registry
         self.name = name
         self.labels = labels
@@ -215,7 +223,7 @@ class Span:
         span closes)."""
         return time.perf_counter() - self.start
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.seconds = time.perf_counter() - self.start
         registry = self.registry
         if registry.enabled:
@@ -239,48 +247,71 @@ class TelemetryRegistry:
     def __init__(self) -> None:
         self.enabled = False
         #: Optional :class:`repro.obs.events.EventLog` spans also emit into.
-        self.events = None
+        self.events: Optional[EventLog] = None
         self._counters: Dict[str, Counter] = {}
         self._gauges: Dict[str, Gauge] = {}
         self._histograms: Dict[str, Histogram] = {}
 
     # -- series access -----------------------------------------------------------
 
-    def counter(self, name: str, labels: Optional[dict] = None) -> Counter:
+    def counter(
+        self, name: str, labels: Optional[Dict[str, object]] = None
+    ) -> Counter:
         key = series_name(name, labels)
         counter = self._counters.get(key)
         if counter is None:
             counter = self._counters[key] = Counter()
         return counter
 
-    def gauge(self, name: str, labels: Optional[dict] = None) -> Gauge:
+    def gauge(
+        self, name: str, labels: Optional[Dict[str, object]] = None
+    ) -> Gauge:
         key = series_name(name, labels)
         gauge = self._gauges.get(key)
         if gauge is None:
             gauge = self._gauges[key] = Gauge()
         return gauge
 
-    def histogram(self, name: str, labels: Optional[dict] = None) -> Histogram:
+    def histogram(
+        self, name: str, labels: Optional[Dict[str, object]] = None
+    ) -> Histogram:
         key = series_name(name, labels)
         histogram = self._histograms.get(key)
         if histogram is None:
             histogram = self._histograms[key] = Histogram()
         return histogram
 
-    def span(self, name: str, labels: Optional[dict] = None) -> Span:
+    def span(
+        self, name: str, labels: Optional[Dict[str, object]] = None
+    ) -> Span:
         return Span(self, name, labels)
 
     # -- convenience recorders (guarded by ``enabled`` at the call site or here) --
 
-    def inc(self, name: str, amount: int = 1, labels: Optional[dict] = None) -> None:
+    def inc(
+        self,
+        name: str,
+        amount: float = 1,
+        labels: Optional[Dict[str, object]] = None,
+    ) -> None:
         if self.enabled:
             self.counter(name, labels).inc(amount)
 
-    def observe(self, name: str, value, labels: Optional[dict] = None) -> None:
+    def observe(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Dict[str, object]] = None,
+    ) -> None:
         if self.enabled:
             self.histogram(name, labels).observe(value)
 
-    def set_gauge(self, name: str, value, labels: Optional[dict] = None) -> None:
+    def set_gauge(
+        self,
+        name: str,
+        value: float,
+        labels: Optional[Dict[str, object]] = None,
+    ) -> None:
         if self.enabled:
             self.gauge(name, labels).set(value)
 
@@ -300,7 +331,7 @@ class TelemetryRegistry:
 
     # -- snapshot / merge --------------------------------------------------------
 
-    def snapshot(self, reset: bool = False) -> dict:
+    def snapshot(self, reset: bool = False) -> Dict[str, Any]:
         """Reduce the registry to a picklable/JSON-able plain-dict payload.
 
         With ``reset=True`` the registry is cleared afterwards, so successive
@@ -321,7 +352,7 @@ class TelemetryRegistry:
             self.reset()
         return payload
 
-    def merge(self, payload: Optional[dict]) -> None:
+    def merge(self, payload: Optional[Dict[str, Any]]) -> None:
         """Fold a :meth:`snapshot` payload in: counters and histograms add,
         gauges take the incoming value (last write wins)."""
         if not payload:

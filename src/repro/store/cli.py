@@ -26,12 +26,13 @@ import json
 import os
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO, Tuple
 
 from repro.engine import CampaignConfig, CampaignEngine, IssBackend, Leon3RtlBackend
 from repro.faultinjection.comparison import FailureClass
 from repro.obs.events import export_chrome_trace, sidecar_paths
 from repro.obs.telemetry import TELEMETRY, split_series_name
+from repro.isa.assembler import Program
 from repro.rtl.faults import ALL_FAULT_MODELS, FaultModel
 from repro.workloads import all_workloads, build_program
 
@@ -60,7 +61,7 @@ class CliError(RuntimeError):
 def _parse_models(spec: Optional[str]) -> List[FaultModel]:
     if not spec or spec == "all":
         return list(ALL_FAULT_MODELS)
-    models = []
+    models: List[FaultModel] = []
     for token in spec.split(","):
         token = token.strip()
         if token == FaultModel.TRANSIENT.value:
@@ -75,7 +76,9 @@ def _parse_models(spec: Optional[str]) -> List[FaultModel]:
             models.append(FaultModel(token))
         except ValueError:
             valid = ", ".join(model.value for model in ALL_FAULT_MODELS)
-            raise CliError(f"unknown fault model {token!r} (expected: {valid})")
+            raise CliError(
+                f"unknown fault model {token!r} (expected: {valid})"
+            ) from None
     return models
 
 
@@ -85,15 +88,17 @@ def _parse_sites(spec: str) -> Optional[int]:
     try:
         return int(spec)
     except ValueError:
-        raise CliError(f"--sites expects an integer or 'all', got {spec!r}")
+        raise CliError(
+            f"--sites expects an integer or 'all', got {spec!r}"
+        ) from None
 
 
-def _build_workload(name: str):
+def _build_workload(name: str) -> Program:
     try:
         return build_program(name)
     except KeyError:
         known = ", ".join(sorted(all_workloads()))
-        raise CliError(f"unknown workload {name!r} (known: {known})")
+        raise CliError(f"unknown workload {name!r} (known: {known})") from None
 
 
 def _format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
@@ -101,17 +106,19 @@ def _format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     for row in rows:
         for column, cell in enumerate(row):
             widths[column] = max(widths[column], len(cell))
-    def line(cells):
+    def line(cells: Sequence[str]) -> str:
         return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
     out = [line(headers), line("-" * width for width in widths)]
     out.extend(line(row) for row in rows)
     return "\n".join(out)
 
 
-def _breakdown_rows(store: CampaignStore, info: CampaignInfo):
+def _breakdown_rows(
+    store: CampaignStore, info: CampaignInfo
+) -> List[Tuple[str, int, int, float, Dict[str, int]]]:
     """(model, injections, failures, Pf, histogram) rows from stored outcomes."""
     breakdown = store.breakdown(info.key)
-    rows = []
+    rows: List[Tuple[str, int, int, float, Dict[str, int]]] = []
     for model_value in info.config.get("fault_models", sorted(breakdown)):
         histogram = breakdown.get(model_value, {})
         injections = sum(histogram.values())
@@ -158,7 +165,9 @@ def _span_rate() -> Optional[float]:
     return None
 
 
-def _progress_printer(stream=None, min_interval: Optional[float] = None):
+def _progress_printer(
+    stream: Optional[TextIO] = None, min_interval: Optional[float] = None
+) -> Callable[[int, int, object], None]:
     """Streaming progress callback for ``repro campaign run``.
 
     TTY-aware: on a terminal it live-updates one ``\\r`` line; redirected to
@@ -177,7 +186,7 @@ def _progress_printer(stream=None, min_interval: Optional[float] = None):
     start = time.monotonic()
     last_emit = [0.0]
 
-    def progress(done: int, total: int, outcome) -> None:
+    def progress(done: int, total: int, outcome: object) -> None:
         now = time.monotonic()
         final = done == total
         step = max(1, total // 20)
@@ -203,7 +212,9 @@ def _progress_printer(stream=None, min_interval: Optional[float] = None):
     return progress
 
 
-def _key_for(engine: CampaignEngine, config: CampaignConfig, program) -> str:
+def _key_for(
+    engine: CampaignEngine, config: CampaignConfig, program: Program
+) -> str:
     """The content key this engine's campaign will be stored under."""
     return engine.store_key()
 
@@ -211,7 +222,7 @@ def _key_for(engine: CampaignEngine, config: CampaignConfig, program) -> str:
 def _run_engine(
     store: CampaignStore,
     config: CampaignConfig,
-    program,
+    program: Program,
     backend: str,
     quiet: bool,
 ) -> int:
@@ -247,7 +258,7 @@ def _resolve_info(store: CampaignStore, key_prefix: str) -> CampaignInfo:
 # Subcommands
 # ---------------------------------------------------------------------------
 
-def cmd_campaign_run(args) -> int:
+def cmd_campaign_run(args: argparse.Namespace) -> int:
     models = _parse_models(args.models)
     scope = args.scope if args.scope is not None else DEFAULT_SCOPES[args.backend]
     program = _build_workload(args.workload)
@@ -272,7 +283,7 @@ def cmd_campaign_run(args) -> int:
         return _run_engine(store, config, program, args.backend, args.quiet)
 
 
-def cmd_campaign_resume(args) -> int:
+def cmd_campaign_resume(args: argparse.Namespace) -> int:
     with CampaignStore(args.store) as store:
         info = _resolve_info(store, args.key)
         config_json = info.config
@@ -315,7 +326,7 @@ def cmd_campaign_resume(args) -> int:
 
 def _aggregate_breakdown(store: CampaignStore, key: str) -> str:
     """One-line failure-class histogram across all models of a campaign."""
-    classes: dict = {}
+    classes: Dict[str, int] = {}
     for histogram in store.breakdown(key).values():
         for failure_class, count in histogram.items():
             classes[failure_class] = classes.get(failure_class, 0) + count
@@ -325,7 +336,7 @@ def _aggregate_breakdown(store: CampaignStore, key: str) -> str:
 
 
 def _watch_campaigns(store: CampaignStore, key: Optional[str], interval: float,
-                     stream=None) -> int:
+                     stream: Optional[TextIO] = None) -> int:
     """Live progress view: rate, ETA and outcome breakdown, refreshed every
     *interval* seconds until the watched campaign(s) complete (or Ctrl-C).
 
@@ -337,7 +348,7 @@ def _watch_campaigns(store: CampaignStore, key: Optional[str], interval: float,
         # anything else that swaps sys.stdout) sees the output.
         stream = sys.stdout
     is_tty = bool(getattr(stream, "isatty", None)) and stream.isatty()
-    previous: dict = {}
+    previous: Dict[str, int] = {}
     previous_time = time.monotonic()
     first = True
     while True:
@@ -383,7 +394,7 @@ def _watch_campaigns(store: CampaignStore, key: Optional[str], interval: float,
             return 0
 
 
-def cmd_campaign_status(args) -> int:
+def cmd_campaign_status(args: argparse.Namespace) -> int:
     if getattr(args, "watch", False):
         with CampaignStore(args.store) as store:
             return _watch_campaigns(store, args.key, args.interval)
@@ -418,7 +429,7 @@ def cmd_campaign_status(args) -> int:
     return 0
 
 
-def cmd_campaign_report(args) -> int:
+def cmd_campaign_report(args: argparse.Namespace) -> int:
     with CampaignStore(args.store) as store:
         info = _resolve_info(store, args.key)
         if args.json:
@@ -452,7 +463,7 @@ def cmd_campaign_report(args) -> int:
     return 0
 
 
-def _format_histogram(name: str, data: dict) -> List[str]:
+def _format_histogram(name: str, data: Dict[str, Any]) -> List[str]:
     """Render one snapshot histogram as aligned detail lines."""
     count = data["count"]
     if not count:
@@ -471,7 +482,7 @@ def _format_histogram(name: str, data: dict) -> List[str]:
     return lines
 
 
-def _metrics_summary(metrics: dict) -> List[str]:
+def _metrics_summary(metrics: Dict[str, Any]) -> List[str]:
     """The derived headline numbers the paper workflow actually wants:
     demotion-reason breakdown, fork-rung distance distribution, cache-hit
     ratio — computed from the raw series in a stored manifest."""
@@ -488,7 +499,7 @@ def _metrics_summary(metrics: dict) -> List[str]:
             f"{hits + misses} planned)"
         )
 
-    demotions = {}
+    demotions: Dict[str, int] = {}
     for series, value in counters.items():
         base, labels = split_series_name(series)
         if base == "lockstep.demotions" and "reason" in labels:
@@ -516,7 +527,7 @@ def _metrics_summary(metrics: dict) -> List[str]:
     return lines
 
 
-def cmd_campaign_metrics(args) -> int:
+def cmd_campaign_metrics(args: argparse.Namespace) -> int:
     with CampaignStore(args.store) as store:
         if args.key:
             info = _resolve_info(store, args.key)
@@ -578,7 +589,7 @@ def cmd_campaign_metrics(args) -> int:
     return 0
 
 
-def cmd_trace_export(args) -> int:
+def cmd_trace_export(args: argparse.Namespace) -> int:
     if not sidecar_paths(args.input):
         raise CliError(
             f"no trace sidecars match {args.input}.*; run a campaign with "
@@ -590,11 +601,11 @@ def cmd_trace_export(args) -> int:
     return 0
 
 
-def cmd_store_ls(args) -> int:
+def cmd_store_ls(args: argparse.Namespace) -> int:
     return cmd_campaign_status(args)
 
 
-def cmd_store_gc(args) -> int:
+def cmd_store_gc(args: argparse.Namespace) -> int:
     with CampaignStore(args.store) as store:
         removed = store.gc(all_campaigns=args.all)
     scope = "all campaigns" if args.all else "incomplete campaigns"
@@ -730,6 +741,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="delete every campaign and memo, not just incomplete ones")
     _add_store_option(gc)
     gc.set_defaults(handler=cmd_store_gc)
+
+    # The lint subcommand lives in repro.lint (imported lazily-ish here:
+    # the lint engine is stdlib-ast only and costs nothing to import).
+    from repro.lint.cli import add_lint_parser
+
+    add_lint_parser(commands)
 
     trace = commands.add_parser("trace", help="export recorded trace events")
     trace_commands = trace.add_subparsers(dest="subcommand", required=True)

@@ -29,7 +29,7 @@ from __future__ import annotations
 import functools
 import hashlib
 import json
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Sequence
 
 from repro.engine.backend import (
     WATCHDOG_FACTOR,
@@ -40,6 +40,9 @@ from repro.engine.backend import (
 from repro.isa.assembler import Program
 from repro.rtl.faults import FaultModel
 from repro.rtl.sites import FaultSite
+
+if TYPE_CHECKING:
+    from repro.engine.jobs import TransientJob
 
 #: Version of the key derivation (and of everything behind it that can change
 #: results).  Part of every digest.
@@ -104,8 +107,37 @@ from repro.rtl.sites import FaultSite
 #:   was stored.  Every run whose outcome *was* reproducible is unaffected.
 KEY_VERSION = 1
 
+#: Result-transparent :class:`~repro.engine.campaign.CampaignConfig` fields —
+#: the explicit registry behind reprolint's R002 key-transparency rule.
+#:
+#: Every ``CampaignConfig`` field must either feed the campaign key (be read
+#: by ``store_key()`` / ``_transient_meta()`` / ``_models()``) or appear here,
+#: asserting that it can never change a stored outcome.  A field in neither
+#: place is a potential cache poisoner: two campaigns that differ in it would
+#: share a key while possibly disagreeing on results.  When a new config field
+#: is added, R002 fails CI until the author makes the choice explicitly —
+#: either wire the field into the key payload or register it below with the
+#: rest of the execution-strategy knobs (see the module docstring for why each
+#: of these is excluded from the key).
+RESULT_TRANSPARENT = frozenset(
+    {
+        "n_workers",
+        "scheduler",
+        "chunk_size",
+        "store_path",
+        "resume",
+        "iss_fast",
+        "rtl_fast",
+        "checkpoint_interval",
+        "early_exit",
+        "telemetry",
+        "trace_path",
+        "lockstep_width",
+    }
+)
 
-def _digest(payload: dict) -> str:
+
+def _digest(payload: Dict[str, Any]) -> str:
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
@@ -133,12 +165,12 @@ def site_token(site: FaultSite) -> str:
     return f"{location}.bit{site.bit}@{site.unit}"
 
 
-def transient_token(job) -> str:
+def transient_token(job: "TransientJob") -> str:
     """Canonical string form of one transient job (site + window)."""
     return f"{site_token(job.site)}@{job.start_cycle}+{job.duration}"
 
 
-def _render_bound(value) -> str:
+def _render_bound(value: object) -> str:
     """Deterministic rendering of a factory's bound argument.
 
     Primitives render by value and classes by qualified name.  Anything else
@@ -216,9 +248,9 @@ def campaign_key(
     seed: int,
     backend_id: str,
     unit_scope: str,
-    sample_size,
+    sample_size: Optional[int],
     max_instructions: int,
-    transient: dict = None,
+    transient: Optional[Dict[str, Any]] = None,
 ) -> str:
     """The content address of one campaign (64 hex chars).
 
@@ -229,7 +261,7 @@ def campaign_key(
     key, which is why adding the section needs no version bump (see the
     :data:`KEY_VERSION` rationale).
     """
-    payload = {
+    payload: Dict[str, Any] = {
         "key_version": KEY_VERSION,
         "program": program_digest(program),
         "sites": [site_token(site) for site in sites],
@@ -246,6 +278,6 @@ def campaign_key(
     return _digest(payload)
 
 
-def memo_key(kind: str, payload: dict) -> str:
+def memo_key(kind: str, payload: Dict[str, Any]) -> str:
     """Content address of a non-campaign artifact (Table 1 rows, timings)."""
     return _digest({"key_version": KEY_VERSION, "kind": kind, "payload": payload})

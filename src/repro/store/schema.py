@@ -26,6 +26,8 @@ injections.
 
 from __future__ import annotations
 
+import sqlite3
+
 #: Bump on any incompatible schema change; the store refuses to open newer
 #: databases and transparently creates missing tables on older ones.
 #:
@@ -114,7 +116,7 @@ SCHEMA_STATEMENTS = (
 )
 
 
-def apply_schema(connection) -> None:
+def apply_schema(connection: sqlite3.Connection) -> None:
     """Create missing tables, run migrations, stamp/verify the version."""
     (version,) = connection.execute("PRAGMA user_version").fetchone()
     if version > SCHEMA_VERSION:

@@ -25,9 +25,8 @@ from __future__ import annotations
 import json
 import sqlite3
 from dataclasses import dataclass
-from datetime import datetime, timezone
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.engine.jobs import InjectionJob, OutcomeRecord, TransientJob
 from repro.faultinjection.comparison import FailureClass
@@ -35,6 +34,7 @@ from repro.isa.assembler import Program
 from repro.rtl.faults import FaultModel
 from repro.rtl.sites import FaultSite
 
+from repro.obs.clock import utc_isoformat, wallclock
 from repro.obs.telemetry import TELEMETRY
 
 from repro.store.keys import backend_identity, campaign_key, transient_token
@@ -45,7 +45,9 @@ COUNTER_NAMES = ("jobs_executed", "jobs_cached", "campaign_hits")
 
 
 def _utcnow() -> str:
-    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+    # Row timestamps are result-transparent bookkeeping (created_at /
+    # updated_at); the one sanctioned clock read keeps them out of any key.
+    return utc_isoformat(wallclock())
 
 
 @dataclass(frozen=True)
@@ -64,7 +66,7 @@ class CampaignInfo:
     hit_count: int
     created_at: str
     updated_at: str
-    config: dict
+    config: Dict[str, Any]
 
     @property
     def complete(self) -> bool:
@@ -84,7 +86,7 @@ class StoreError(RuntimeError):
 class CampaignStore:
     """SQLite-backed persistence for fault-injection campaigns."""
 
-    def __init__(self, path: Union[str, Path] = "campaigns.sqlite"):
+    def __init__(self, path: Union[str, Path] = "campaigns.sqlite") -> None:
         if str(path) != ":memory:":
             path = Path(path).expanduser()
             path.resolve().parent.mkdir(parents=True, exist_ok=True)
@@ -104,7 +106,7 @@ class CampaignStore:
     def __enter__(self) -> "CampaignStore":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # -- campaign sessions (engine hook) ------------------------------------------
@@ -123,7 +125,7 @@ class CampaignStore:
         backend_factory: Callable[[], object],
         total_jobs: int,
         transient_jobs: Optional[Sequence[TransientJob]] = None,
-        transient_config: Optional[dict] = None,
+        transient_config: Optional[Dict[str, Any]] = None,
     ) -> "CampaignSession":
         """Open (or create) the campaign row for this exact plan content.
 
@@ -133,7 +135,7 @@ class CampaignStore:
         can rebuild the plan for ``repro campaign resume``).
         """
         backend_id = backend_identity(backend_name, backend_factory)
-        transient = None
+        transient: Optional[Dict[str, Any]] = None
         if transient_jobs is not None:
             transient = dict(transient_config or {})
             transient["jobs"] = [transient_token(job) for job in transient_jobs]
@@ -148,7 +150,7 @@ class CampaignStore:
             max_instructions=max_instructions,
             transient=transient,
         )
-        config = {
+        config: Dict[str, Any] = {
             "workload": program.name,
             "unit_scope": unit_scope,
             "sample_size": sample_size,
@@ -327,7 +329,7 @@ class CampaignStore:
 
     # -- run manifests (telemetry artifacts) ----------------------------------------
 
-    def put_manifest(self, key: str, payload: dict) -> int:
+    def put_manifest(self, key: str, payload: Dict[str, Any]) -> int:
         """Append one run manifest under *key*; returns its run index.
 
         Manifests are result-transparent (metrics, environment, wall clock —
@@ -354,7 +356,7 @@ class CampaignStore:
 
     def get_manifest(
         self, key: str, run_index: Optional[int] = None
-    ) -> Optional[dict]:
+    ) -> Optional[Dict[str, Any]]:
         """The manifest of one run (latest when *run_index* is ``None``)."""
         if run_index is None:
             row = self._conn.execute(
@@ -370,7 +372,7 @@ class CampaignStore:
             ).fetchone()
         return None if row is None else json.loads(row["payload"])
 
-    def list_manifests(self, key: str) -> List[dict]:
+    def list_manifests(self, key: str) -> List[Dict[str, Any]]:
         """Every stored run manifest of a campaign, oldest first."""
         return [
             json.loads(row["payload"])
@@ -383,13 +385,13 @@ class CampaignStore:
 
     # -- memos (non-campaign artifacts) --------------------------------------------
 
-    def memo_get(self, key: str) -> Optional[dict]:
+    def memo_get(self, key: str) -> Optional[Dict[str, Any]]:
         row = self._conn.execute(
             "SELECT payload FROM memos WHERE key = ?", (key,)
         ).fetchone()
         return None if row is None else json.loads(row["payload"])
 
-    def memo_put(self, key: str, kind: str, payload: dict) -> None:
+    def memo_put(self, key: str, kind: str, payload: Dict[str, Any]) -> None:
         with self._conn:
             self._conn.execute(
                 """
@@ -527,12 +529,14 @@ class CampaignSession:
                 (_utcnow(), self.key),
             )
 
-    def put_manifest(self, payload: dict) -> int:
+    def put_manifest(self, payload: Dict[str, Any]) -> int:
         """Append this run's telemetry manifest (see
         :meth:`CampaignStore.put_manifest`)."""
         return self.store.put_manifest(self.key, payload)
 
-    def get_manifest(self, run_index: Optional[int] = None) -> Optional[dict]:
+    def get_manifest(
+        self, run_index: Optional[int] = None
+    ) -> Optional[Dict[str, Any]]:
         return self.store.get_manifest(self.key, run_index)
 
     def mark_complete(self) -> None:

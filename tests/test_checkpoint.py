@@ -217,7 +217,9 @@ class TestTransientPlanning:
 class TestCampaignIntegration:
     def test_serial_equals_parallel_transient_campaign(self):
         program = build_program("intbench")
-        base = dict(unit_scope="iu", sample_size=5, seed=3, transient_windows=2)
+        base = {
+            "unit_scope": "iu", "sample_size": 5, "seed": 3, "transient_windows": 2,
+        }
         serial = CampaignEngine(program, CampaignConfig(**base)).run()
         parallel = CampaignEngine(
             program,
@@ -235,7 +237,9 @@ class TestCampaignIntegration:
 
     def test_early_exit_off_equals_on(self):
         program = build_program("intbench")
-        base = dict(unit_scope="iu", sample_size=5, seed=3, transient_windows=2)
+        base = {
+            "unit_scope": "iu", "sample_size": 5, "seed": 3, "transient_windows": 2,
+        }
         fast = CampaignEngine(program, CampaignConfig(**base)).run()
         plain = CampaignEngine(
             program, CampaignConfig(**base, early_exit=False)
@@ -248,9 +252,12 @@ class TestCampaignIntegration:
         """Backends without snapshot support run transients from reset and
         agree with the checkpointed fast path."""
         program = build_program("intbench")
-        base = dict(
-            unit_scope="arch.regfile", sample_size=4, seed=3, transient_windows=2
-        )
+        base = {
+            "unit_scope": "arch.regfile",
+            "sample_size": 4,
+            "seed": 3,
+            "transient_windows": 2,
+        }
         fast = CampaignEngine(
             program, CampaignConfig(**base), backend_factory=IssBackend
         ).run()

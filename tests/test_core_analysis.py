@@ -112,7 +112,7 @@ class TestDiversityAnalysis:
 
     def test_unit_diversity_is_bounded_by_overall(self):
         characterization = characterize_program(build_program("rspeed"))
-        for unit, value in characterization.unit_diversity.items():
+        for value in characterization.unit_diversity.values():
             assert value <= characterization.diversity
 
     def test_fetch_unit_diversity_equals_overall(self):

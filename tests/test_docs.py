@@ -33,6 +33,7 @@ PACKAGES = (
     "repro.isa",
     "repro.iss",
     "repro.leon3",
+    "repro.lint",
     "repro.obs",
     "repro.rtl",
     "repro.store",

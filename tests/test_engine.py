@@ -171,12 +171,12 @@ class TestPlanning:
 
 class TestSchedulers:
     def _config(self, **overrides):
-        defaults = dict(
-            unit_scope="iu",
-            sample_size=6,
-            fault_models=[FaultModel.STUCK_AT_1, FaultModel.STUCK_AT_0],
-            seed=11,
-        )
+        defaults = {
+            "unit_scope": "iu",
+            "sample_size": 6,
+            "fault_models": [FaultModel.STUCK_AT_1, FaultModel.STUCK_AT_0],
+            "seed": 11,
+        }
         defaults.update(overrides)
         return CampaignConfig(**defaults)
 

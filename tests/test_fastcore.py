@@ -412,7 +412,9 @@ class TestSelection:
 
     def test_run_iu_campaign_fast_matches_reference(self):
         program = build_program("intbench")
-        shared = dict(sample_size=5, fault_models=[FaultModel.STUCK_AT_1], seed=11)
+        shared = {
+            "sample_size": 5, "fault_models": [FaultModel.STUCK_AT_1], "seed": 11,
+        }
         fast = run_iu_campaign(program, fast=True, **shared)
         reference = run_iu_campaign(program, fast=False, **shared)
         for model in fast:
@@ -429,10 +431,11 @@ class TestStoreRoundTrip:
 
         program = build_program("intbench")
         store_path = str(tmp_path / "campaigns.db")
-        shared = dict(
-            unit_scope="cmem", sample_size=4,
-            fault_models=[FaultModel.STUCK_AT_1], seed=3, store_path=store_path,
-        )
+        shared = {
+            "unit_scope": "cmem", "sample_size": 4,
+            "fault_models": [FaultModel.STUCK_AT_1], "seed": 3,
+            "store_path": store_path,
+        }
         fast_results = CampaignEngine(
             program, CampaignConfig(rtl_fast=True, **shared),
             backend_factory=Leon3RtlBackend,

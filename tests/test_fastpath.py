@@ -437,9 +437,9 @@ class TestSelection:
 
     def test_run_iss_campaign_fast_matches_reference(self):
         program = build_program("rspeed")
-        shared = dict(
-            sample_size=6, fault_models=[FaultModel.STUCK_AT_1], seed=11
-        )
+        shared = {
+            "sample_size": 6, "fault_models": [FaultModel.STUCK_AT_1], "seed": 11,
+        }
         fast = run_iss_campaign(program, fast=True, **shared)
         reference = run_iss_campaign(program, fast=False, **shared)
         for model in fast:

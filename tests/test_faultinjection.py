@@ -48,7 +48,7 @@ GOLDEN = _result_with(
 
 class TestComparison:
     def test_identical_runs_are_no_effect(self):
-        faulty = _result_with([t for t in GOLDEN.transactions])
+        faulty = _result_with(list(GOLDEN.transactions))
         comparison = compare_runs(GOLDEN, faulty)
         assert comparison.failure_class is FailureClass.NO_EFFECT
         assert not comparison.is_failure

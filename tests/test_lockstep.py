@@ -355,9 +355,12 @@ class TestResolutionPaths:
 class TestCampaignTransparency:
     """serial == process == lockstep, at the campaign level."""
 
-    BASE = dict(
-        unit_scope="arch.regfile", sample_size=4, seed=3, transient_windows=2
-    )
+    BASE = {
+        "unit_scope": "arch.regfile",
+        "sample_size": 4,
+        "seed": 3,
+        "transient_windows": 2,
+    }
 
     @staticmethod
     def _outcomes(results):
@@ -388,7 +391,7 @@ class TestCampaignTransparency:
 
     def test_permanent_campaign_scalar_vs_lockstep(self):
         program = build_program("rspeed")
-        base = dict(unit_scope="arch.regfile", sample_size=3, seed=7)
+        base = {"unit_scope": "arch.regfile", "sample_size": 3, "seed": 7}
         scalar = CampaignEngine(
             program, CampaignConfig(**base), backend_factory=IssBackend
         ).run()
@@ -436,10 +439,10 @@ class TestStoreTransparency:
 
         program = build_program("intbench")
         store_path = str(tmp_path / "campaigns.sqlite")
-        base = dict(
-            unit_scope="arch.regfile", sample_size=4, seed=3,
-            transient_windows=2, store_path=store_path,
-        )
+        base = {
+            "unit_scope": "arch.regfile", "sample_size": 4, "seed": 3,
+            "transient_windows": 2, "store_path": store_path,
+        }
         packed = CampaignEngine(
             program,
             CampaignConfig(**base, lockstep_width=4),

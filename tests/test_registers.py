@@ -85,7 +85,7 @@ class TestWindows:
     def test_nested_save_restore_depth(self):
         regs = RegisterFile()
         values = [100, 200, 300]
-        for depth, value in enumerate(values):
+        for value in values:
             regs.write(16, value)
             regs.save()
         for value in reversed(values):

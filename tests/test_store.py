@@ -35,13 +35,13 @@ def store_path(tmp_path):
 
 
 def _config(store_path=None, **overrides):
-    defaults = dict(
-        unit_scope="iu",
-        sample_size=4,
-        fault_models=[FaultModel.STUCK_AT_1, FaultModel.STUCK_AT_0],
-        seed=11,
-        store_path=store_path,
-    )
+    defaults = {
+        "unit_scope": "iu",
+        "sample_size": 4,
+        "fault_models": [FaultModel.STUCK_AT_1, FaultModel.STUCK_AT_0],
+        "seed": 11,
+        "store_path": store_path,
+    }
     defaults.update(overrides)
     return CampaignConfig(**defaults)
 
@@ -108,15 +108,15 @@ class TestConfigValidation:
 
 class TestKeys:
     def _key(self, program, **overrides):
-        params = dict(
-            sites=[],
-            fault_models=list(ALL_FAULT_MODELS),
-            seed=11,
-            backend_id="rtl:repro.engine.backend.Leon3RtlBackend",
-            unit_scope="iu",
-            sample_size=4,
-            max_instructions=400_000,
-        )
+        params = {
+            "sites": [],
+            "fault_models": list(ALL_FAULT_MODELS),
+            "seed": 11,
+            "backend_id": "rtl:repro.engine.backend.Leon3RtlBackend",
+            "unit_scope": "iu",
+            "sample_size": 4,
+            "max_instructions": 400_000,
+        }
         params.update(overrides)
         return campaign_key(program=program, **params)
 
