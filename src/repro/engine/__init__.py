@@ -17,6 +17,9 @@ experiments run:
   replicas of one workload execute through a single shared fetch/decode
   front end as sparse deltas against a golden-replay leader, demoting to the
   scalar path on divergence (bit-identical to scalar execution).
+* :mod:`repro.engine.sharding` — deterministic campaign sharding: one plan
+  split into N disjoint slices that execute against independent store files
+  and merge back bit-identically (``repro store merge``).
 * :mod:`repro.engine.campaign` — :class:`CampaignEngine`, which plans a
   campaign, runs it through a scheduler and streams outcomes into
   :class:`~repro.faultinjection.results.CampaignResult` aggregates.
@@ -61,6 +64,14 @@ from repro.engine.schedulers import (
     SerialScheduler,
     make_scheduler,
 )
+from repro.engine.sharding import (
+    run_sharded_campaign,
+    select_shard,
+    shard_bounds,
+    shard_slice,
+    shard_store_path,
+    shard_token,
+)
 
 __all__ = [
     "ExecutionBackend",
@@ -87,4 +98,10 @@ __all__ = [
     "MultiprocessingScheduler",
     "SerialScheduler",
     "make_scheduler",
+    "run_sharded_campaign",
+    "select_shard",
+    "shard_bounds",
+    "shard_slice",
+    "shard_store_path",
+    "shard_token",
 ]

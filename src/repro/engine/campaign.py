@@ -66,6 +66,7 @@ from repro.engine.jobs import (
     plan_transient_jobs,
 )
 from repro.engine.schedulers import KNOWN_SCHEDULERS, make_scheduler
+from repro.engine.sharding import select_shard, shard_slice, shard_token
 from repro.obs.clock import utc_isoformat, wallclock
 from repro.obs.events import EventLog
 from repro.obs.telemetry import TELEMETRY, Span
@@ -171,6 +172,19 @@ class CampaignConfig:
     #: bit-identical to scalar runs (enforced by ``tests/test_lockstep.py``)
     #: — so deliberately not part of the campaign store key.
     lockstep_width: int = 1
+    #: Shard count of a sharded campaign (see :mod:`repro.engine.sharding`):
+    #: the canonical plan is split into this many disjoint contiguous slices
+    #: and this run executes only slice ``shard_index``, committing outcomes
+    #: under the *parent* campaign's key with the parent plan's job indices.
+    #: Shard stores are folded back into the canonical store by
+    #: ``repro store merge``.  Result-transparent — merge(shards) is
+    #: bit-identical to the unsharded run (enforced by
+    #: ``tests/test_sharding.py``) — so deliberately not part of the
+    #: campaign store key.
+    shards: int = 1
+    #: Which shard of ``shards`` this run executes (0-based).  Result-
+    #: transparent, like ``shards``.
+    shard_index: int = 0
 
     def __post_init__(self) -> None:
         # Fail at configuration time with a clear message, not deep inside a
@@ -222,6 +236,13 @@ class CampaignConfig:
         if self.lockstep_width < 1:
             raise ValueError(
                 f"lockstep_width must be >= 1, got {self.lockstep_width}"
+            )
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if not 0 <= self.shard_index < self.shards:
+            raise ValueError(
+                f"shard_index must be in [0, shards), got shard "
+                f"{self.shard_index} of {self.shards}"
             )
         if self.trace_path is not None and not self.telemetry:
             raise ValueError(
@@ -554,6 +575,12 @@ class CampaignEngine:
     ) -> Dict[FaultModel, CampaignResult]:
         """The store-less path: plan, schedule, aggregate in stream order."""
         plan = self.plan(fault_models=fault_models, sites=sites)
+        # Sharding is a pure slice of the canonical plan (shards=1, the
+        # default, selects the whole plan), applied after planning so every
+        # shard derives its slice from the identical full job list.
+        plan.jobs = select_shard(
+            plan.jobs, self.config.shards, self.config.shard_index
+        )
         TELEMETRY.inc("campaign.jobs_planned", plan.total_jobs)
         TELEMETRY.inc("campaign.jobs_executed", plan.total_jobs)
         golden = plan.golden
@@ -602,6 +629,13 @@ class CampaignEngine:
         models = self._models(fault_models)
         site_list = list(sites) if sites is not None else self.select_sites()
         jobs = self._plan_job_list(models, site_list)
+        # The shard's slice of the canonical plan (shards=1 selects all of
+        # it).  The campaign row — key, config, total_jobs — always describes
+        # the *full* plan: a shard is not a new campaign, it commits its
+        # slice under the parent identity with the parent job indices, so the
+        # store stays 'running' until merge (or co-located shard runs)
+        # assembles every slice.
+        my_jobs = select_shard(jobs, config.shards, config.shard_index)
         session = store.begin_campaign(
             program=self.program,
             sites=site_list,
@@ -618,12 +652,30 @@ class CampaignEngine:
             ),
             transient_config=self._transient_meta() if config.transient else None,
         )
+        if config.shards > 1:
+            lo, hi = shard_slice(len(jobs), config.shards, config.shard_index)
+            session.record_shard(
+                shard_count=config.shards,
+                shard_index=config.shard_index,
+                token=shard_token(session.key, config.shards, config.shard_index),
+                job_lo=lo,
+                job_hi=hi,
+            )
         if not config.resume:
             session.reset()
-        stored = session.stored_records() if config.resume else []
+        shard_indices = {job.index for job in my_jobs}
+        stored = (
+            [
+                record
+                for record in session.stored_records()
+                if record.job.index in shard_indices
+            ]
+            if config.resume
+            else []
+        )
         done_indices = {record.job.index for record in stored}
-        remaining = [job for job in jobs if job.index not in done_indices]
-        TELEMETRY.inc("campaign.jobs_planned", len(jobs))
+        remaining = [job for job in my_jobs if job.index not in done_indices]
+        TELEMETRY.inc("campaign.jobs_planned", len(my_jobs))
         TELEMETRY.inc("campaign.jobs_memoized", len(stored))
         TELEMETRY.inc("campaign.jobs_executed", len(remaining))
         TELEMETRY.inc("store.cache_hits", len(stored))
@@ -651,9 +703,13 @@ class CampaignEngine:
 
         # Reorder buffer: fold records strictly in job-index order (the
         # canonical aggregation order), even when the committed prefix has
-        # gaps that fresh jobs fill in from a parallel scheduler.
+        # gaps that fresh jobs fill in from a parallel scheduler.  The order
+        # is tracked through the shard's expected index list — which is
+        # simply 0..len(jobs)-1 when unsharded — so a shard whose indices
+        # start mid-plan folds exactly like a full campaign.
         done = 0
-        next_index = 0
+        expected = [job.index for job in my_jobs]
+        cursor = 0
         pending: Dict[int, OutcomeRecord] = {}
 
         def fold(record: OutcomeRecord) -> None:
@@ -662,14 +718,14 @@ class CampaignEngine:
             outcome = record.to_outcome()
             results[record.job.fault_model].outcomes.append(outcome)
             if progress is not None:
-                progress(done, len(jobs), outcome)
+                progress(done, len(my_jobs), outcome)
 
         def push(record: OutcomeRecord) -> None:
-            nonlocal next_index
+            nonlocal cursor
             pending[record.job.index] = record
-            while next_index in pending:
-                fold(pending.pop(next_index))
-                next_index += 1
+            while cursor < len(expected) and expected[cursor] in pending:
+                fold(pending.pop(expected[cursor]))
+                cursor += 1
 
         all_records: List[OutcomeRecord] = list(stored)
         commit_buffer: List[OutcomeRecord] = []
@@ -721,8 +777,12 @@ class CampaignEngine:
             store.bump("jobs_executed", executed)
             store.bump("jobs_cached", len(stored))
 
-        if next_index == len(jobs):
-            session.mark_complete()
+        if cursor == len(expected):
+            # This run's slice is done; the campaign itself completes only
+            # when the store holds every planned outcome (immediately for an
+            # unsharded run, at merge time — or on the last co-located shard
+            # — for a sharded one).
+            session.mark_complete_if_done()
         fresh = all_records[len(stored):]
         self._attribute_seconds(results, all_records, fresh, span)
         if config.telemetry:
@@ -754,6 +814,8 @@ class CampaignEngine:
                 "checkpoint_interval": config.checkpoint_interval,
                 "early_exit": config.early_exit,
                 "transient_windows": config.transient_windows,
+                "shards": config.shards,
+                "shard_index": config.shard_index,
             },
             "metrics": TELEMETRY.snapshot(),
         }

@@ -6,6 +6,8 @@ Drives store-backed campaigns end-to-end without writing any Python:
 
     repro campaign run --workload rspeed --scope iu --sites 40
     repro campaign run --workload rspeed --transient 4   # SEU campaign
+    repro campaign run ... --shards 3 --shard-index 0 \
+        --store shard0.sqlite               # one slice of a sharded campaign
     repro campaign resume --key 3f2a        # continue an interrupted campaign
     repro campaign status                   # progress of every stored campaign
     repro campaign status --watch           # live view (rate, ETA, breakdown)
@@ -13,10 +15,15 @@ Drives store-backed campaigns end-to-end without writing any Python:
     repro campaign metrics 3f2a             # run manifest: telemetry metrics
     repro trace export --chrome out.json    # Perfetto-loadable trace
     repro store ls                          # stored campaigns
+    repro store merge out.sqlite shard*.sqlite  # fold shard stores into one
     repro store gc                          # drop incomplete campaigns
 
 The store path defaults to ``$REPRO_STORE`` or ``campaigns.sqlite`` in the
 working directory.  Campaign keys may be abbreviated to any unique prefix.
+
+Exit codes: ``0`` success, ``1`` operational failure (bad arguments, merge
+conflicts, unknown keys), ``2`` unusable store database (missing file on a
+read-only command, not SQLite, newer schema), ``130`` interrupted.
 """
 
 from __future__ import annotations
@@ -24,19 +31,26 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import sqlite3
 import sys
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO
 
 from repro.engine import CampaignConfig, CampaignEngine, IssBackend, Leon3RtlBackend
-from repro.faultinjection.comparison import FailureClass
 from repro.obs.events import export_chrome_trace, sidecar_paths
 from repro.obs.telemetry import TELEMETRY, split_series_name
 from repro.isa.assembler import Program
 from repro.rtl.faults import ALL_FAULT_MODELS, FaultModel
 from repro.workloads import all_workloads, build_program
 
-from repro.store.store import CampaignInfo, CampaignStore, StoreError
+from repro.store.merge import merge_stores, missing_shards
+from repro.store.store import (
+    CampaignInfo,
+    CampaignStore,
+    StoreError,
+    breakdown_rows,
+    report_payload,
+)
 
 #: Default base path of the JSONL trace event log (``campaign run --trace``
 #: writes ``<path>.<pid>`` sidecars; ``repro trace export`` merges them).
@@ -51,7 +65,16 @@ DEFAULT_SCOPES = {"rtl": "iu", "iss": "arch.regfile"}
 
 
 class CliError(RuntimeError):
-    """User-facing CLI failure (bad arguments, unknown keys, ...)."""
+    """User-facing CLI failure (bad arguments, unknown keys, ...).
+
+    *exit_code* classifies the failure for scripts: ``1`` is an operational
+    error, ``2`` means the store database itself is unusable (missing on a
+    read-only command, not SQLite, written by a newer schema).
+    """
+
+    def __init__(self, message: str, exit_code: int = 1) -> None:
+        super().__init__(message)
+        self.exit_code = exit_code
 
 
 # ---------------------------------------------------------------------------
@@ -113,29 +136,37 @@ def _format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
     return "\n".join(out)
 
 
-def _breakdown_rows(
-    store: CampaignStore, info: CampaignInfo
-) -> List[Tuple[str, int, int, float, Dict[str, int]]]:
-    """(model, injections, failures, Pf, histogram) rows from stored outcomes."""
-    breakdown = store.breakdown(info.key)
-    rows: List[Tuple[str, int, int, float, Dict[str, int]]] = []
-    for model_value in info.config.get("fault_models", sorted(breakdown)):
-        histogram = breakdown.get(model_value, {})
-        injections = sum(histogram.values())
-        failures = sum(
-            count
-            for failure_class, count in histogram.items()
-            if FailureClass(failure_class).is_failure
+def _open_store(path: str, must_exist: bool = False) -> CampaignStore:
+    """Open a store, classifying unusable databases as clean exit-2 errors.
+
+    Read-only commands (status, report, gc, merge inputs, ...) pass
+    ``must_exist=True`` — pointing them at a path with no database is an
+    operator mistake worth a clear message, not an empty store silently
+    created in the wrong place.  A file that is not SQLite (or was written
+    by a newer schema) is exit-2 for every command.
+    """
+    if must_exist and path != ":memory:" and not os.path.exists(path):
+        raise CliError(
+            f"no store database at {path!r} (run a campaign first, or pass "
+            f"--store/$REPRO_STORE)",
+            exit_code=2,
         )
-        pf = failures / injections if injections else 0.0
-        rows.append((model_value, injections, failures, pf, histogram))
-    return rows
+    try:
+        return CampaignStore(path)
+    except sqlite3.DatabaseError as error:
+        raise CliError(
+            f"store {path!r} is not a usable SQLite database ({error})",
+            exit_code=2,
+        ) from error
+    except StoreError as error:
+        # apply_schema refusing a newer-schema database at open time.
+        raise CliError(str(error), exit_code=2) from error
 
 
 def _print_breakdown(store: CampaignStore, info: CampaignInfo) -> None:
     rows = [
         (model, str(injections), str(failures), f"{pf:.4f}")
-        for model, injections, failures, pf, _ in _breakdown_rows(store, info)
+        for model, injections, failures, pf, _ in breakdown_rows(store, info)
     ]
     print(_format_table(("fault model", "injections", "failures", "Pf"), rows))
 
@@ -246,12 +277,32 @@ def _run_engine(
     print(f"campaign {info.key[:12]} ({info.workload}, {info.unit_scope}, "
           f"{info.backend}, seed {info.seed})")
     print(f"  executed {executed} injections, served {cached} from the store")
+    if config.shards > 1:
+        print(f"  shard {config.shard_index} of {config.shards} "
+              f"({info.done_jobs}/{info.total_jobs} outcomes in this store); "
+              f"assemble the full campaign with `repro store merge`")
     _print_breakdown(store, info)
     return 0
 
 
 def _resolve_info(store: CampaignStore, key_prefix: str) -> CampaignInfo:
     return store.campaign_info(store.resolve_key(key_prefix))
+
+
+def _resolve_info_or_only(
+    store: CampaignStore, key_prefix: Optional[str]
+) -> CampaignInfo:
+    """Resolve a key prefix, defaulting to the store's only campaign."""
+    if key_prefix:
+        return _resolve_info(store, key_prefix)
+    infos = store.list_campaigns()
+    if len(infos) != 1:
+        raise CliError(
+            "store holds several campaigns; pass a key prefix"
+            if infos
+            else "store is empty"
+        )
+    return infos[0]
 
 
 # ---------------------------------------------------------------------------
@@ -278,13 +329,15 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         lockstep_width=args.lockstep,
         telemetry=not args.no_telemetry,
         trace_path=args.trace,
+        shards=args.shards,
+        shard_index=args.shard_index,
     )
-    with CampaignStore(args.store) as store:
+    with _open_store(args.store) as store:
         return _run_engine(store, config, program, args.backend, args.quiet)
 
 
 def cmd_campaign_resume(args: argparse.Namespace) -> int:
-    with CampaignStore(args.store) as store:
+    with _open_store(args.store, must_exist=True) as store:
         info = _resolve_info(store, args.key)
         config_json = info.config
         backend = config_json.get("backend", "rtl")
@@ -298,6 +351,16 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
             fault_models = list(ALL_FAULT_MODELS)
         else:
             fault_models = [FaultModel(v) for v in config_json["fault_models"]]
+        # A store holding exactly one shard slice resumes as that shard (it
+        # was created by `campaign run --shards N --shard-index i` and only
+        # its slice belongs here); anything else — unsharded stores, merged
+        # stores, multi-shard stores — resumes the full plan and fills
+        # whatever gaps remain.
+        shard_rows = store.shard_rows(info.key)
+        shards, shard_index = 1, 0
+        if len(shard_rows) == 1:
+            shards = shard_rows[0].shard_count
+            shard_index = shard_rows[0].shard_index
         config = CampaignConfig(
             unit_scope=config_json["unit_scope"],
             sample_size=config_json["sample_size"],
@@ -308,6 +371,8 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
             resume=True,
             transient_windows=transient.get("windows"),
             transient_duration=transient.get("duration", 1),
+            shards=shards,
+            shard_index=shard_index,
         )
         # The campaign is only resumable if the registry still builds the
         # exact program (and site sample) the key was derived from.
@@ -394,11 +459,30 @@ def _watch_campaigns(store: CampaignStore, key: Optional[str], interval: float,
             return 0
 
 
+def _print_shard_lines(store: CampaignStore, infos: Sequence[CampaignInfo]) -> None:
+    """Shard-set presence lines of ``repro campaign status`` (one per
+    campaign that carries shard rows — partial shard sets name exactly which
+    shards are still missing)."""
+    for info in infos:
+        by_count: Dict[int, List[int]] = {}
+        for row in store.shard_rows(info.key):
+            by_count.setdefault(row.shard_count, []).append(row.shard_index)
+        for count, indices in sorted(by_count.items()):
+            present = ",".join(str(index) for index in sorted(indices))
+            gone = missing_shards(store, info.key).get(count)
+            if gone:
+                print(f"shards: {info.key[:12]} holds {present} of {count} "
+                      f"(missing {','.join(str(i) for i in gone)}; assemble "
+                      f"with `repro store merge`)")
+            else:
+                print(f"shards: {info.key[:12]} holds all {count} shards")
+
+
 def cmd_campaign_status(args: argparse.Namespace) -> int:
     if getattr(args, "watch", False):
-        with CampaignStore(args.store) as store:
+        with _open_store(args.store, must_exist=True) as store:
             return _watch_campaigns(store, args.key, args.interval)
-    with CampaignStore(args.store) as store:
+    with _open_store(args.store, must_exist=True) as store:
         infos = (
             [_resolve_info(store, args.key)] if args.key else store.list_campaigns()
         )
@@ -422,6 +506,7 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
             ("key", "workload", "scope", "backend", "done", "%", "status", "hits"),
             rows,
         ))
+        _print_shard_lines(store, infos)
         counters = store.counters()
         print(f"store totals: {counters['jobs_executed']} executed, "
               f"{counters['jobs_cached']} served from cache, "
@@ -430,31 +515,10 @@ def cmd_campaign_status(args: argparse.Namespace) -> int:
 
 
 def cmd_campaign_report(args: argparse.Namespace) -> int:
-    with CampaignStore(args.store) as store:
-        info = _resolve_info(store, args.key)
+    with _open_store(args.store, must_exist=True) as store:
+        info = _resolve_info_or_only(store, args.key)
         if args.json:
-            payload = {
-                "key": info.key,
-                "workload": info.workload,
-                "unit_scope": info.unit_scope,
-                "backend": info.backend,
-                "seed": info.seed,
-                "status": info.status,
-                "total_jobs": info.total_jobs,
-                "done_jobs": info.done_jobs,
-                "models": [
-                    {
-                        "fault_model": model,
-                        "injections": injections,
-                        "failures": failures,
-                        "failure_probability": pf,
-                        "classification": histogram,
-                    }
-                    for model, injections, failures, pf, histogram
-                    in _breakdown_rows(store, info)
-                ],
-            }
-            print(json.dumps(payload, indent=2, sort_keys=True))
+            print(json.dumps(report_payload(store, info), indent=2, sort_keys=True))
         else:
             print(f"campaign {info.key[:12]} ({info.workload}, {info.unit_scope}, "
                   f"{info.backend}, seed {info.seed}) — {info.status}, "
@@ -528,17 +592,8 @@ def _metrics_summary(metrics: Dict[str, Any]) -> List[str]:
 
 
 def cmd_campaign_metrics(args: argparse.Namespace) -> int:
-    with CampaignStore(args.store) as store:
-        if args.key:
-            info = _resolve_info(store, args.key)
-        else:
-            infos = store.list_campaigns()
-            if len(infos) != 1:
-                raise CliError(
-                    "store holds several campaigns; pass a key prefix"
-                    if infos else "store is empty"
-                )
-            info = infos[0]
+    with _open_store(args.store, must_exist=True) as store:
+        info = _resolve_info_or_only(store, args.key)
         manifest = store.get_manifest(info.key, args.run)
         if manifest is None:
             which = "any run" if args.run is None else f"run {args.run}"
@@ -606,11 +661,36 @@ def cmd_store_ls(args: argparse.Namespace) -> int:
 
 
 def cmd_store_gc(args: argparse.Namespace) -> int:
-    with CampaignStore(args.store) as store:
+    with _open_store(args.store, must_exist=True) as store:
         removed = store.gc(all_campaigns=args.all)
-    scope = "all campaigns" if args.all else "incomplete campaigns"
+    scope = "all campaigns" if args.all else "unreferenced incomplete campaigns"
     print(f"removed {removed['campaigns']} {scope}, "
           f"{removed['outcomes']} outcomes, {removed['memos']} memos")
+    return 0
+
+
+def cmd_store_merge(args: argparse.Namespace) -> int:
+    # Classify unusable inputs (missing file, not SQLite, newer schema) as
+    # exit-2 before merging; merge_stores re-verifies, but through the
+    # generic StoreError path.
+    for path in args.sources:
+        _open_store(path, must_exist=True).close()
+    _open_store(args.dest).close()
+    report = merge_stores(args.dest, args.sources)
+    print(f"merged {len(report.sources)} stores into {report.dest}: "
+          f"{report.inserted} outcomes inserted, "
+          f"{report.duplicates} duplicates skipped")
+    for campaign in report.campaigns:
+        state = "complete" if campaign.complete else "partial"
+        line = (f"  campaign {campaign.key[:12]}: "
+                f"{campaign.done_jobs}/{campaign.total_jobs} outcomes, {state}")
+        if campaign.missing_shards:
+            notes = "; ".join(
+                f"missing shard(s) {','.join(str(i) for i in gone)} of {count}"
+                for count, gone in sorted(campaign.missing_shards.items())
+            )
+            line += f" ({notes})"
+        print(line)
     return 0
 
 
@@ -664,6 +744,14 @@ def build_parser() -> argparse.ArgumentParser:
                      help="execute N faulty replicas per lockstep pack "
                           "through one shared front end (ISS backend; "
                           "default: 1, scalar)")
+    run.add_argument("--shards", type=int, default=1, metavar="N",
+                     help="split the campaign plan into N disjoint shards "
+                          "and execute only --shard-index against this store "
+                          "(default: 1, unsharded); fold the shard stores "
+                          "with `repro store merge`")
+    run.add_argument("--shard-index", type=int, default=0, metavar="I",
+                     help="which shard of --shards to execute (0-based; "
+                          "give each shard its own --store)")
     run.add_argument("--seed", type=int, default=2015)
     run.add_argument("--workers", type=int, default=1,
                      help="worker processes (default: 1, serial)")
@@ -721,7 +809,9 @@ def build_parser() -> argparse.ArgumentParser:
     report = campaign_commands.add_parser(
         "report", help="Pf breakdown from stored outcomes (no simulation)"
     )
-    report.add_argument("--key", required=True, help="campaign key (unique prefix)")
+    report.add_argument("--key", default=None,
+                        help="campaign key (unique prefix; optional when the "
+                             "store holds exactly one campaign)")
     report.add_argument("--json", action="store_true", help="machine-readable output")
     _add_store_option(report)
     report.set_defaults(handler=cmd_campaign_report)
@@ -734,8 +824,22 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_option(ls)
     ls.set_defaults(handler=cmd_store_ls)
 
+    merge = store_commands.add_parser(
+        "merge",
+        help="fold shard stores into a canonical store "
+             "(conflicts are hard errors; re-merging is idempotent)",
+    )
+    merge.add_argument("dest", metavar="OUT",
+                       help="destination store database (created if missing)")
+    merge.add_argument("sources", nargs="+", metavar="IN",
+                       help="source store databases (e.g. the per-shard "
+                            "stores of one sharded campaign)")
+    merge.set_defaults(handler=cmd_store_merge)
+
     gc = store_commands.add_parser(
-        "gc", help="delete incomplete campaigns and vacuum the database"
+        "gc", help="delete unreferenced incomplete campaigns and vacuum "
+                   "the database (shard stores and campaigns with run "
+                   "manifests are kept)"
     )
     gc.add_argument("--all", action="store_true",
                     help="delete every campaign and memo, not just incomplete ones")
@@ -772,8 +876,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except (CliError, StoreError, ValueError) as error:
         # ValueError covers CampaignConfig's eager validation (bad --workers,
         # --chunk-size, --sites, ...): surface it as a clean CLI error.
+        # CliError carries its exit code (2 = unusable store database);
+        # everything else is an operational failure (1).
         print(f"repro: error: {error}", file=sys.stderr)
-        return 1
+        return getattr(error, "exit_code", 1)
     except KeyboardInterrupt:
         print("\nrepro: interrupted — committed outcomes are kept; "
               "rerun `repro campaign resume --key <key>` to continue",

@@ -133,6 +133,16 @@ RESULT_TRANSPARENT = frozenset(
         "telemetry",
         "trace_path",
         "lockstep_width",
+        # Sharding is pure execution partitioning: a shard commits outcomes
+        # under the *parent* campaign's key with the parent plan's job
+        # indices, and merge(shards) is bit-identical to the unsharded run
+        # (enforced by tests/test_sharding.py and the CI 3-shard smoke gate).
+        # Keys must not depend on the split, or shard stores could never
+        # merge back into the canonical campaign.  KEY_VERSION stays at 1;
+        # the pinned-key test in tests/test_sharding.py holds the key
+        # byte-identical across shard coordinates.
+        "shards",
+        "shard_index",
     }
 )
 

@@ -1,6 +1,6 @@
 """SQLite schema of the campaign result store.
 
-Four tables:
+Five tables:
 
 * ``campaigns`` — one row per content-addressed campaign: the plan metadata
   (workload, scope, models, seed, backend, budget), the golden-run stats, a
@@ -15,6 +15,12 @@ Four tables:
   ``(campaign_key, run_index)`` so repeated runs of one campaign append.
   Result-transparent: manifests describe how a run executed, never what it
   computed, and play no part in the content key.
+* ``shards`` — which slices of a sharded campaign this store holds (see
+  :mod:`repro.engine.sharding`): one row per ``(campaign, shard_count,
+  shard_index)`` with the shard's derived identity token and its
+  ``[job_lo, job_hi)`` slice of the canonical plan.  A shard store is an
+  intentionally incomplete campaign awaiting ``repro store merge``, which is
+  why ``gc`` keeps incomplete campaigns that carry shard rows.
 * ``memos`` — content-addressed JSON artifacts that are not campaigns
   (Table 1 characterisations, simulation-time comparisons).
 
@@ -41,7 +47,19 @@ import sqlite3
 #: EXISTS`` pass below creates the missing table in place, no existing row
 #: changes shape, and campaign keys are untouched (``KEY_VERSION`` stays 1
 #: — see :mod:`repro.store.keys`).
-SCHEMA_VERSION = 3
+#:
+#: Version 4 adds the ``shards`` table (which slices of a sharded campaign
+#: a store holds — see :mod:`repro.engine.sharding`).  Again purely
+#: additive: the ``CREATE TABLE IF NOT EXISTS`` pass migrates v3 databases
+#: in place, no existing row changes shape, and ``KEY_VERSION`` stays 1
+#: (sharding is result-transparent).
+SCHEMA_VERSION = 4
+
+
+class StoreError(RuntimeError):
+    """Raised on store misuse (unknown keys, ambiguous prefixes, unusable
+    database files, ...).  Defined here, beside the schema gate that raises
+    it first, and re-exported by :mod:`repro.store.store`."""
 
 SCHEMA_STATEMENTS = (
     """
@@ -96,6 +114,19 @@ SCHEMA_STATEMENTS = (
     )
     """,
     """
+    CREATE TABLE IF NOT EXISTS shards (
+        campaign_key TEXT NOT NULL
+                     REFERENCES campaigns(key) ON DELETE CASCADE,
+        shard_count  INTEGER NOT NULL,
+        shard_index  INTEGER NOT NULL,
+        token        TEXT NOT NULL,
+        job_lo       INTEGER NOT NULL,
+        job_hi       INTEGER NOT NULL,
+        created_at   TEXT NOT NULL,
+        PRIMARY KEY (campaign_key, shard_count, shard_index)
+    )
+    """,
+    """
     CREATE TABLE IF NOT EXISTS memos (
         key        TEXT PRIMARY KEY,
         kind       TEXT NOT NULL,
@@ -120,7 +151,7 @@ def apply_schema(connection: sqlite3.Connection) -> None:
     """Create missing tables, run migrations, stamp/verify the version."""
     (version,) = connection.execute("PRAGMA user_version").fetchone()
     if version > SCHEMA_VERSION:
-        raise RuntimeError(
+        raise StoreError(
             f"store was written by a newer schema (version {version}, "
             f"supported {SCHEMA_VERSION}); refusing to open"
         )

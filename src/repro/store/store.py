@@ -26,7 +26,7 @@ import json
 import sqlite3
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.engine.jobs import InjectionJob, OutcomeRecord, TransientJob
 from repro.faultinjection.comparison import FailureClass
@@ -38,7 +38,18 @@ from repro.obs.clock import utc_isoformat, wallclock
 from repro.obs.telemetry import TELEMETRY
 
 from repro.store.keys import backend_identity, campaign_key, transient_token
-from repro.store.schema import apply_schema
+from repro.store.schema import StoreError, apply_schema
+
+__all__ = [
+    "COUNTER_NAMES",
+    "CampaignInfo",
+    "CampaignSession",
+    "CampaignStore",
+    "ShardInfo",
+    "StoreError",
+    "breakdown_rows",
+    "report_payload",
+]
 
 #: Store-wide counters maintained by the engine integration.
 COUNTER_NAMES = ("jobs_executed", "jobs_cached", "campaign_hits")
@@ -79,8 +90,17 @@ class CampaignInfo:
         return self.done_jobs / self.total_jobs
 
 
-class StoreError(RuntimeError):
-    """Raised on store misuse (unknown keys, ambiguous prefixes, ...)."""
+@dataclass(frozen=True)
+class ShardInfo:
+    """One row of the ``shards`` table: a slice of a sharded campaign that
+    this store holds (or held, on a merged store) — see
+    :mod:`repro.engine.sharding`."""
+
+    shard_count: int
+    shard_index: int
+    token: str
+    job_lo: int
+    job_hi: int
 
 
 class CampaignStore:
@@ -311,6 +331,24 @@ class CampaignStore:
             )
         return records
 
+    def shard_rows(self, key: str) -> List[ShardInfo]:
+        """The shard slices of a campaign recorded in this store, in shard
+        order (empty for unsharded campaigns)."""
+        return [
+            ShardInfo(
+                shard_count=row["shard_count"],
+                shard_index=row["shard_index"],
+                token=row["token"],
+                job_lo=row["job_lo"],
+                job_hi=row["job_hi"],
+            )
+            for row in self._conn.execute(
+                "SELECT * FROM shards WHERE campaign_key = ? "
+                "ORDER BY shard_count, shard_index",
+                (key,),
+            )
+        ]
+
     def breakdown(self, key: str) -> Dict[str, Dict[str, int]]:
         """Per-fault-model classification histogram of the stored outcomes."""
         per_model: Dict[str, Dict[str, int]] = {}
@@ -410,8 +448,24 @@ class CampaignStore:
 
         Returns the number of campaigns, outcomes and memos removed.  The
         database is vacuumed afterwards so the space is actually reclaimed.
+
+        An incomplete campaign is *kept* when it is still reachable from a
+        run manifest or a shard row: a shard store's campaign is incomplete
+        by design (it awaits ``repro store merge``), and a campaign whose
+        telemetry manifest was persisted finished a run someone may still
+        want to inspect.  Only unreferenced interrupted campaigns — the
+        abandoned-run debris gc exists for — are collected.
+        ``all_campaigns`` overrides the reachability protection.
         """
-        where = "" if all_campaigns else "WHERE status != 'complete'"
+        where = (
+            ""
+            if all_campaigns
+            else (
+                "WHERE status != 'complete' "
+                "AND key NOT IN (SELECT campaign_key FROM manifests) "
+                "AND key NOT IN (SELECT campaign_key FROM shards)"
+            )
+        )
         with self._conn:
             (outcomes,) = self._conn.execute(
                 f"""
@@ -547,6 +601,53 @@ class CampaignSession:
                 (_utcnow(), self.key),
             )
 
+    def mark_complete_if_done(self) -> bool:
+        """Mark the campaign complete iff every planned outcome is committed.
+
+        The completion gate of sharded execution: a shard run finishes its
+        own slice with the store still short of ``total_jobs`` rows, so its
+        store correctly stays ``running`` (awaiting ``repro store merge``),
+        while an unsharded run — or the last shard executed against a shared
+        store file — crosses the threshold and completes.  Returns whether
+        the campaign is now complete.
+        """
+        (done,) = self.store._conn.execute(
+            "SELECT COUNT(*) FROM outcomes WHERE campaign_key = ?",
+            (self.key,),
+        ).fetchone()
+        row = self.store._campaign_row(self.key)
+        if row is None or done < row["total_jobs"]:
+            return False
+        self.mark_complete()
+        return True
+
+    def record_shard(
+        self,
+        shard_count: int,
+        shard_index: int,
+        token: str,
+        job_lo: int,
+        job_hi: int,
+    ) -> None:
+        """Record which shard slice this store executes (idempotent).
+
+        The row marks the store as a deliberate partial artifact — gc keeps
+        its incomplete campaign — and carries the derived shard token that
+        ``repro store merge`` re-derives and cross-checks.
+        """
+        with self.store._conn:
+            self.store._conn.execute(
+                """
+                INSERT INTO shards (campaign_key, shard_count, shard_index,
+                                    token, job_lo, job_hi, created_at)
+                VALUES (?, ?, ?, ?, ?, ?, ?)
+                ON CONFLICT (campaign_key, shard_count, shard_index)
+                DO NOTHING
+                """,
+                (self.key, shard_count, shard_index, token, job_lo, job_hi,
+                 _utcnow()),
+            )
+
     def register_hit(self) -> None:
         with self.store._conn:
             self.store._conn.execute(
@@ -554,3 +655,62 @@ class CampaignSession:
                 (self.key,),
             )
         self.store.bump("campaign_hits", 1)
+
+
+# ---------------------------------------------------------------------------
+# Aggregated reports
+# ---------------------------------------------------------------------------
+#
+# The one definition of "the campaign report" — shared by the CLI
+# (``repro campaign report``) and by the sharding bit-identity gate
+# (tests/test_sharding.py, the CI 3-shard smoke job), so the
+# merge(shards) == unsharded comparison is byte-for-byte on exactly the
+# payload users read.
+
+def breakdown_rows(
+    store: CampaignStore, info: CampaignInfo
+) -> List[Tuple[str, int, int, float, Dict[str, int]]]:
+    """(model, injections, failures, Pf, histogram) rows from stored outcomes."""
+    breakdown = store.breakdown(info.key)
+    rows: List[Tuple[str, int, int, float, Dict[str, int]]] = []
+    for model_value in info.config.get("fault_models", sorted(breakdown)):
+        histogram = breakdown.get(model_value, {})
+        injections = sum(histogram.values())
+        failures = sum(
+            count
+            for failure_class, count in histogram.items()
+            if FailureClass(failure_class).is_failure
+        )
+        pf = failures / injections if injections else 0.0
+        rows.append((model_value, injections, failures, pf, histogram))
+    return rows
+
+
+def report_payload(store: CampaignStore, info: CampaignInfo) -> Dict[str, Any]:
+    """The machine-readable campaign report (``repro campaign report --json``).
+
+    A pure function of the stored outcome rows and the content-derived
+    campaign metadata — no timestamps, no telemetry — so a merged shard set
+    and the equivalent unsharded campaign render byte-identical payloads.
+    """
+    return {
+        "key": info.key,
+        "workload": info.workload,
+        "unit_scope": info.unit_scope,
+        "backend": info.backend,
+        "seed": info.seed,
+        "status": info.status,
+        "total_jobs": info.total_jobs,
+        "done_jobs": info.done_jobs,
+        "models": [
+            {
+                "fault_model": model,
+                "injections": injections,
+                "failures": failures,
+                "failure_probability": pf,
+                "classification": histogram,
+            }
+            for model, injections, failures, pf, histogram
+            in breakdown_rows(store, info)
+        ],
+    }

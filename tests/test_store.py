@@ -354,6 +354,6 @@ class TestCli:
         with pytest.raises(Interrupted):
             CampaignEngine(program, config).run(progress=_interrupt_after(2))
         assert self._run("store", "gc", "--store", store_path) == 0
-        assert "removed 1 incomplete" in capsys.readouterr().out
+        assert "removed 1 unreferenced incomplete" in capsys.readouterr().out
         with CampaignStore(store_path) as store:
             assert store.list_campaigns() == []
