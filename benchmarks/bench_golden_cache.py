@@ -1,0 +1,227 @@
+#!/usr/bin/env python3
+"""Campaign startup throughput: cold vs warm golden-artifact cache.
+
+Runs the same store-backed transient campaign twice per workload/backend
+pair: once against a fresh store (the golden run executes and its
+checkpoint ladder is recorded and published to the store's artifact cache)
+and once warm (``resume=False`` forces every injection to re-execute, but
+the golden recording is *loaded* from the cache and digest-verified instead
+of re-executed).  The measured quantity is the campaign's **startup** — the
+``golden`` telemetry span, which times exactly the acquisition phase the
+cache is allowed to skip — and the bit-identity gate runs before any number
+is reported: the warm campaign's per-model results must equal the cold
+run's, the cold run must record exactly one ``golden.cache.miss``, and the
+warm run must show ``golden.cache.miss == 0`` (zero golden executions) with
+at least one ``golden.cache.hit``.  A wrong-but-fast cache never reports a
+speedup.
+
+The warm leg is not free — ``from_artifact`` restores every rung into the
+live engine and recomputes its state digest before trusting it (see
+``docs/store.md``) — so the reported speedup is the honest
+verified-load-vs-execute figure, not a no-op read.
+
+Appends a dated record to the ``BENCH_golden_cache.json`` history next to
+the repo root so CI and future optimisation PRs can track the trend:
+
+    python benchmarks/bench_golden_cache.py                  # record
+    python benchmarks/bench_golden_cache.py --no-write       # measure only
+    python benchmarks/bench_golden_cache.py --check          # CI gate
+
+``--check`` compares the measured aggregate *startup speedup* against the
+latest committed record, failing on a >20% regression or on a speedup below
+the 2x floor the warm start is required to clear.  The speedup ratio is the
+machine-portable metric; absolute startup seconds are recorded for context
+but never compared across machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from bench_utils import run_gated_benchmark, stamp  # noqa: E402
+
+from repro.engine import CampaignConfig, CampaignEngine  # noqa: E402
+from repro.engine.backend import IssBackend, Leon3RtlBackend  # noqa: E402
+from repro.obs.telemetry import TELEMETRY  # noqa: E402
+from repro.workloads import build_program  # noqa: E402
+
+BASELINE_PATH = Path(__file__).resolve().parents[1] / "BENCH_golden_cache.json"
+
+#: The RTL-scale workload mix of the other throughput benches.
+DEFAULT_WORKLOADS = ("rspeed", "membench", "intbench")
+
+#: Hard floor on the aggregate warm-vs-cold startup speedup.
+SPEEDUP_FLOOR = 2.0
+
+BACKENDS = {"rtl": Leon3RtlBackend, "iss": IssBackend}
+
+UNIT_SCOPES = {"rtl": "iu", "iss": "arch.regfile"}
+
+
+def _golden_counters():
+    counters = TELEMETRY.snapshot().get("counters", {})
+    return (
+        counters.get("golden.cache.hit", 0),
+        counters.get("golden.cache.miss", 0),
+    )
+
+
+def _golden_seconds():
+    histogram = TELEMETRY.snapshot()["histograms"].get("golden.seconds")
+    if histogram is None:
+        raise SystemExit(
+            "ERROR: the campaign recorded no 'golden' span; the startup "
+            "measurement has nothing to time"
+        )
+    return histogram["total"]
+
+
+def measure(backend_name, program, sites, windows, seed, max_instructions):
+    """One workload on one backend: cold run, warm run, verify, time."""
+    with tempfile.TemporaryDirectory() as tmp:
+        config = CampaignConfig(
+            unit_scope=UNIT_SCOPES[backend_name],
+            sample_size=sites,
+            seed=seed,
+            transient_windows=windows,
+            max_instructions=max_instructions,
+            store_path=str(Path(tmp) / "campaigns.sqlite"),
+        )
+        factory = BACKENDS[backend_name]
+
+        cold_results = CampaignEngine(
+            program, config, backend_factory=factory
+        ).run()
+        cold_seconds = _golden_seconds()
+        hits, misses = _golden_counters()
+        if (hits, misses) != (0, 1):
+            raise SystemExit(
+                f"ERROR: cold run of {program.name!r}/{backend_name} hit "
+                f"the cache ({hits} hits, {misses} misses); the store was "
+                f"not fresh"
+            )
+
+        warm_config = dataclasses.replace(config, resume=False)
+        warm_results = CampaignEngine(
+            program, warm_config, backend_factory=factory
+        ).run()
+        warm_seconds = _golden_seconds()
+        hits, misses = _golden_counters()
+        if misses != 0 or hits < 1:
+            raise SystemExit(
+                f"ERROR: warm run of {program.name!r}/{backend_name} "
+                f"executed {misses} golden runs ({hits} cache hits); the "
+                f"zero-golden-execution claim does not hold"
+            )
+
+        # Bit-identity gate: cached golden and fresh golden must produce
+        # the same campaign, outcome for outcome.
+        if cold_results.keys() != warm_results.keys():
+            raise SystemExit(
+                f"ERROR: warm run of {program.name!r}/{backend_name} "
+                f"reports different fault models than the cold run"
+            )
+        for model in cold_results:
+            if cold_results[model].outcomes != warm_results[model].outcomes:
+                raise SystemExit(
+                    f"ERROR: cached-golden campaign diverges from "
+                    f"fresh-golden on {program.name!r}/{backend_name} "
+                    f"({model.value})"
+                )
+
+    injections = sum(len(r.outcomes) for r in cold_results.values())
+    return {
+        "injections": injections,
+        "cold": {"startup_seconds": round(cold_seconds, 4)},
+        "warm": {"startup_seconds": round(warm_seconds, 4)},
+        "speedup": round(cold_seconds / warm_seconds, 2),
+    }, cold_seconds, warm_seconds
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--workloads", nargs="+", default=list(DEFAULT_WORKLOADS))
+    parser.add_argument("--iterations", type=int, default=4,
+                        help="workload loop iterations (default: 4 — longer "
+                             "goldens are where the cache pays; matches the "
+                             "transient throughput bench)")
+    parser.add_argument("--sites", type=int, default=4,
+                        help="storage sites sampled per workload (default: 4)")
+    parser.add_argument("--windows", type=int, default=2,
+                        help="transient start times sampled per site "
+                             "(default: 2)")
+    parser.add_argument("--seed", type=int, default=2015)
+    parser.add_argument("--max-instructions", type=int, default=400_000)
+    parser.add_argument("--no-write", action="store_true",
+                        help="measure and print only; do not update the baseline")
+    parser.add_argument("--check", action="store_true",
+                        help="fail on a >20%% speedup regression vs the committed "
+                             "baseline or an aggregate startup speedup below "
+                             f"{SPEEDUP_FLOOR}x (bit-identity always verified)")
+    parser.add_argument("--tolerance", type=float, default=None, metavar="FRAC",
+                        help="override the --check regression tolerance "
+                             "(default 0.20)")
+    args = parser.parse_args()
+
+    rows = []
+    total_cold_s = 0.0
+    total_warm_s = 0.0
+    print(f"Golden-artifact cache startup: {len(args.workloads)} workloads x "
+          f"{sorted(BACKENDS)} backends, cold record vs warm verified load")
+    for name in args.workloads:
+        program = build_program(name, iterations=args.iterations)
+        for backend_name in sorted(BACKENDS):
+            row, cold_s, warm_s = measure(
+                backend_name, program, args.sites, args.windows,
+                args.seed, args.max_instructions,
+            )
+            row = {"workload": name, "backend": backend_name, **row}
+            rows.append(row)
+            total_cold_s += cold_s
+            total_warm_s += warm_s
+            print(f"  {name:10s} {backend_name}  "
+                  f"cold {row['cold']['startup_seconds'] * 1000:7.1f} ms   "
+                  f"warm {row['warm']['startup_seconds'] * 1000:7.1f} ms   "
+                  f"{row['speedup']:5.2f}x  (bit-identical, 0 golden "
+                  f"executions)")
+
+    aggregate_speedup = total_cold_s / total_warm_s
+    print(f"  aggregate: cold startup {total_cold_s:.3f}s, warm "
+          f"{total_warm_s:.3f}s -> {aggregate_speedup:.2f}x speedup")
+
+    baseline = {
+        "benchmark": "golden_cache",
+        "workloads": list(args.workloads),
+        "iterations": args.iterations,
+        "sites_per_workload": args.sites,
+        "windows_per_site": args.windows,
+        "seed": args.seed,
+        "max_instructions": args.max_instructions,
+        **stamp(),
+        "per_run": rows,
+        "aggregate": {
+            "cold_startup_seconds": round(total_cold_s, 4),
+            "warm_startup_seconds": round(total_warm_s, 4),
+            "speedup": round(aggregate_speedup, 2),
+        },
+    }
+    return run_gated_benchmark(
+        BASELINE_PATH, baseline,
+        config_fields=("workloads", "iterations", "sites_per_workload",
+                       "windows_per_site", "seed", "max_instructions"),
+        check=args.check, no_write=args.no_write,
+        speedup_floor=SPEEDUP_FLOOR,
+        regression_message="warm-start speedup fell below the floor",
+        tolerance=args.tolerance,
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,6 +1,6 @@
 """SQLite schema of the campaign result store.
 
-Five tables:
+Seven tables:
 
 * ``campaigns`` — one row per content-addressed campaign: the plan metadata
   (workload, scope, models, seed, backend, budget), the golden-run stats, a
@@ -23,6 +23,18 @@ Five tables:
   why ``gc`` keeps incomplete campaigns that carry shard rows.
 * ``memos`` — content-addressed JSON artifacts that are not campaigns
   (Table 1 characterisations, simulation-time comparisons).
+* ``artifacts`` — the golden-artifact cache (see
+  :mod:`repro.store.artifacts`): one row per content-addressed golden
+  recording — a serialized golden :class:`~repro.engine.backend.RunResult`,
+  or a full :class:`~repro.engine.checkpoint.CheckpointLadder` (rung
+  payloads, digests, counts, transaction prefixes) plus an optional lockstep
+  touch timeline — compressed as a BLOB.  Loading one replaces the golden
+  re-execution every worker, shard, and repeated campaign would otherwise
+  perform from reset.
+* ``artifact_refs`` — which campaigns consumed or produced which artifact;
+  the reachability edges ``gc`` walks so an artifact referenced by a
+  surviving campaign row (e.g. an incomplete shard awaiting merge) is never
+  collected from under it.
 
 ``counters`` holds monotonically increasing store-wide statistics
 (``jobs_executed``, ``jobs_cached``, ``campaign_hits``), which is how tests
@@ -53,7 +65,17 @@ import sqlite3
 #: additive: the ``CREATE TABLE IF NOT EXISTS`` pass migrates v3 databases
 #: in place, no existing row changes shape, and ``KEY_VERSION`` stays 1
 #: (sharding is result-transparent).
-SCHEMA_VERSION = 4
+#:
+#: Version 5 adds the ``artifacts`` and ``artifact_refs`` tables (the
+#: golden-artifact cache — see :mod:`repro.store.artifacts`).  Purely
+#: additive once more: the ``CREATE TABLE IF NOT EXISTS`` pass migrates v4
+#: databases in place, campaigns/outcomes/manifests/shards/memos rows are
+#: byte-for-byte untouched (round-tripped by the populated-migration test in
+#: ``tests/test_store_properties.py``), and ``KEY_VERSION`` stays 1 —
+#: artifact keys are a separate ``"kind"``-tagged namespace
+#: (:func:`repro.store.keys.artifact_key`) and the cache is
+#: result-transparent by construction.
+SCHEMA_VERSION = 5
 
 
 class StoreError(RuntimeError):
@@ -132,6 +154,30 @@ SCHEMA_STATEMENTS = (
         kind       TEXT NOT NULL,
         payload    TEXT NOT NULL,
         created_at TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS artifacts (
+        key          TEXT PRIMARY KEY,
+        kind         TEXT NOT NULL
+                     CHECK (kind IN ('golden', 'ladder')),
+        workload     TEXT NOT NULL,
+        backend      TEXT NOT NULL,
+        payload      BLOB NOT NULL,
+        size_bytes   INTEGER NOT NULL,
+        hit_count    INTEGER NOT NULL DEFAULT 0,
+        created_at   TEXT NOT NULL,
+        last_used_at TEXT NOT NULL
+    )
+    """,
+    """
+    CREATE TABLE IF NOT EXISTS artifact_refs (
+        artifact_key TEXT NOT NULL
+                     REFERENCES artifacts(key) ON DELETE CASCADE,
+        campaign_key TEXT NOT NULL
+                     REFERENCES campaigns(key) ON DELETE CASCADE,
+        created_at   TEXT NOT NULL,
+        PRIMARY KEY (artifact_key, campaign_key)
     )
     """,
     """

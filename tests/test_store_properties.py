@@ -10,7 +10,8 @@ Three families, complementing ``tests/test_store.py``'s behavioural suite:
   database stamped by a *newer* schema is refused (exit 2 at the CLI).
 * **Garbage collection reachability** — ``store gc`` never collects an
   incomplete campaign that is still reachable from a run manifest or a
-  shard row, whatever combination of campaigns a store holds.
+  shard row, whatever combination of campaigns a store holds; and a golden
+  artifact referenced by any surviving campaign survives the sweep with it.
 """
 
 import sqlite3
@@ -246,6 +247,53 @@ class TestSchemaMigration:
         with CampaignStore(path) as store:
             assert store.stored_records(_V1_KEY) == first
 
+    def test_populated_v4_store_gains_artifact_tables(
+        self, small_program, tmp_path
+    ):
+        """v4 -> v5 is purely additive: a populated v4 database (no
+        ``artifacts``/``artifact_refs`` tables) opens under v5 with its
+        campaign data untouched and the artifact cache immediately usable."""
+        path = str(tmp_path / "v4.sqlite")
+        with CampaignStore(path) as store:
+            session = store.begin_campaign(
+                program=small_program,
+                sites=[],
+                fault_models=[FaultModel.STUCK_AT_1],
+                seed=7,
+                unit_scope="iu",
+                sample_size=None,
+                max_instructions=400_000,
+                backend_name="rtl",
+                backend_factory=Leon3RtlBackend,
+                total_jobs=2,
+            )
+            session.put_manifest({"manifest_version": 1})
+            session.mark_complete()
+            key = session.key
+        # Rewind the file to exactly what schema v4 shipped.
+        conn = sqlite3.connect(path)
+        conn.executescript(
+            """
+            DROP TABLE artifact_refs;
+            DROP TABLE artifacts;
+            PRAGMA user_version = 4;
+            """
+        )
+        conn.commit()
+        conn.close()
+        with CampaignStore(path) as store:
+            (version,) = store._conn.execute("PRAGMA user_version").fetchone()
+            assert version == SCHEMA_VERSION
+            info = store.campaign_info(key)
+            assert info.total_jobs == 2
+            assert store.get_manifest(key) == {"manifest_version": 1}
+            assert store.list_artifacts() == []
+            assert store.artifact_put("ab" * 32, "golden", "small", "rtl", b"x")
+            store.artifact_ref("ab" * 32, key)
+            assert store.artifact_get("ab" * 32) == b"x"
+            (artifact,) = store.list_artifacts()
+            assert artifact.refs == 1
+
     def test_newer_schema_is_refused(self, tmp_path):
         path = str(tmp_path / "future.sqlite")
         conn = sqlite3.connect(path)
@@ -327,6 +375,87 @@ class TestGcReachability:
             )
             assert store.gc()["campaigns"] == 0
             assert len(store.list_campaigns()) == 1
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        flags=st.lists(
+            st.tuples(st.booleans(), st.booleans(), st.booleans()),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_gc_keeps_artifacts_of_surviving_campaigns(
+        self, small_program, flags
+    ):
+        """A golden artifact lives exactly as long as some campaign
+        references it: ``gc()`` sweeps artifacts whose every referencing
+        campaign was collected (including incomplete-but-shard-referenced
+        ones, which survive and keep their artifact alive), and never an
+        artifact a surviving campaign still points at."""
+        with CampaignStore(":memory:") as store:
+            expected_artifacts = set()
+            for index, (complete, manifest, shard) in enumerate(flags):
+                session = self._begin(store, small_program, seed=index)
+                artifact = f"{index:02d}" * 32
+                store.artifact_put(
+                    artifact, "golden", "small", "rtl", b"payload"
+                )
+                store.artifact_ref(artifact, session.key)
+                if manifest:
+                    session.put_manifest({"manifest_version": 1})
+                if shard:
+                    session.record_shard(
+                        shard_count=2,
+                        shard_index=0,
+                        token=shard_token(session.key, 2, 0),
+                        job_lo=0,
+                        job_hi=1,
+                    )
+                if complete:
+                    session.mark_complete()
+                if complete or manifest or shard:
+                    expected_artifacts.add(artifact)
+            # One orphan with no referencing campaign at all: always swept.
+            store.artifact_put("ff" * 32, "ladder", "small", "rtl", b"x")
+            removed = store.gc()
+            survivors = {info.key for info in store.list_artifacts()}
+            assert survivors == expected_artifacts
+            assert removed["artifacts"] == len(flags) + 1 - len(
+                expected_artifacts
+            )
+            # Collecting the campaigns cascades their refs, so a full
+            # --all pass leaves nothing for the artifact sweep to keep.
+            store.gc(all_campaigns=True)
+            assert store.list_artifacts() == []
+
+    def test_artifact_gc_respects_refs_until_all(self, small_program):
+        with CampaignStore(":memory:") as store:
+            session = self._begin(store, small_program, seed=1)
+            session.mark_complete()
+            store.artifact_put("aa" * 32, "golden", "small", "rtl", b"used")
+            store.artifact_ref("aa" * 32, session.key)
+            store.artifact_put("bb" * 32, "golden", "small", "rtl", b"orphan")
+            removed = store.artifact_gc()
+            assert removed["artifacts"] == 1 and removed["bytes"] == 6
+            assert [info.key for info in store.list_artifacts()] == ["aa" * 32]
+            removed = store.artifact_gc(all_artifacts=True)
+            assert removed["artifacts"] == 1
+            assert store.list_artifacts() == []
+
+    def test_ref_to_unknown_artifact_or_campaign_is_a_noop(
+        self, small_program
+    ):
+        """Publication is best-effort (uncacheable goldens skip it), so the
+        reachability edge must be safe to record unconditionally."""
+        with CampaignStore(":memory:") as store:
+            session = self._begin(store, small_program, seed=1)
+            store.artifact_ref("cc" * 32, session.key)  # no such artifact
+            store.artifact_put("dd" * 32, "golden", "small", "rtl", b"x")
+            store.artifact_ref("dd" * 32, "ee" * 32)  # no such campaign
+            refs = store._conn.execute(
+                "SELECT COUNT(*) FROM artifact_refs"
+            ).fetchone()[0]
+            assert refs == 0
 
 
 # ---------------------------------------------------------------------------
